@@ -1,0 +1,91 @@
+"""Ablation: band-wide detection vs single-frequency detection.
+
+The paper's point (its critique of damping [14], applied to detection):
+resonance lives in a *band* of frequencies, 84-119 cycles for the Table 1
+supply, not just at the 100-cycle resonant period.
+
+Open loop, the difference is stark: at the band edge (86-cycle period) a
+detector watching only the 50-cycle half-period cannot chain events past a
+count of 2, so the second-level response would never engage; the band-wide
+detector counts straight through the repetition tolerance at every period
+in the band.
+
+Closed loop on our tuned workloads (whose episodes sit near the band
+centre and whose sharp transitions produce wide event runs) the
+single-frequency detector happens to survive -- a nuance worth recording:
+coverage matters exactly when behaviour drifts toward the band edges.
+"""
+
+from repro.config import TABLE1_TUNING
+from repro.core import ResonanceDetector, ResonanceTuningController
+from repro.power import waveforms
+from repro.sim import BenchmarkRunner, SweepConfig
+
+from conftest import BENCH_CYCLES, run_once
+
+VIOLATORS = ("swim", "bzip", "parser", "lucas")
+BAND = range(42, 60)
+SINGLE = [50]
+
+
+def _detector(half_periods):
+    return ResonanceDetector(
+        half_periods=half_periods,
+        threshold_amps=TABLE1_TUNING.resonant_current_threshold_amps,
+        max_repetition_tolerance=TABLE1_TUNING.max_repetition_tolerance,
+    )
+
+
+def _max_count(half_periods, period_cycles):
+    detector = _detector(half_periods)
+    wave = waveforms.square_wave(1500, period_cycles, 45.0, mean=70.0)
+    max_count = 0
+    for cycle, current in enumerate(wave):
+        event = detector.observe(cycle, current)
+        if event is not None:
+            max_count = max(max_count, event.count)
+    return max_count
+
+
+def _run():
+    open_loop = {
+        period: (_max_count(BAND, period), _max_count(SINGLE, period))
+        for period in (86, 100, 116)
+    }
+    runner = BenchmarkRunner(SweepConfig(n_cycles=BENCH_CYCLES))
+    closed = {
+        "band-wide": runner.sweep(
+            lambda s, p: ResonanceTuningController(s, p, detector=_detector(BAND)),
+            benchmarks=VIOLATORS,
+        ),
+        "single-frequency": runner.sweep(
+            lambda s, p: ResonanceTuningController(
+                s, p, detector=_detector(SINGLE)
+            ),
+            benchmarks=VIOLATORS,
+        ),
+    }
+    return open_loop, closed
+
+
+def test_bench_ablation_band_coverage(benchmark):
+    open_loop, closed = run_once(benchmark, _run)
+    print()
+    print("open loop (max resonant event count at 45 A):")
+    for period, (band_count, single_count) in open_loop.items():
+        print(f"  period {period:3d} cycles: band-wide={band_count}"
+              f" single-frequency={single_count}")
+    print("closed loop:")
+    for label, summary in closed.items():
+        print(f"  {label:17s}: violations={summary.total_violation_cycles}"
+              f" slowdown={summary.avg_slowdown:.3f}"
+              f" E*D={summary.avg_energy_delay:.3f}")
+
+    # Band-wide detection counts through the tolerance at every band period.
+    for band_count, _ in open_loop.values():
+        assert band_count >= 4
+    # At the band edge, single-frequency detection cannot reach the
+    # second-level threshold: the guarantee is lost there.
+    assert open_loop[86][1] < TABLE1_TUNING.second_level_threshold
+    # On our centre-band workloads both uphold the guarantee (the nuance).
+    assert closed["band-wide"].total_violation_cycles == 0

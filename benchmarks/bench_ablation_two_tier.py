@@ -1,0 +1,65 @@
+"""Ablation: why resonance tuning needs *both* response tiers.
+
+Three variants on the violating benchmarks:
+
+* both tiers (the paper's design),
+* first level only (gentle throttling, no guarantee backstop),
+* second level only (no gentle tier to tame nascent resonance early).
+
+Measured shape: only the two-tier design eliminates every violation.
+First-only leaks when the gentle throttle loses the race against a fast
+build-up (bzip); second-only leaks too -- without the first tier, episodes
+run at full amplitude until the count reaches the second-level threshold,
+and occasionally violate just before the stall lands -- while also burning
+more cycles in the expensive full stall.
+"""
+
+from repro.core import ResonanceTuningController
+from repro.sim import BenchmarkRunner, SweepConfig
+
+from conftest import run_once
+
+VIOLATORS = ("swim", "bzip", "parser", "lucas")
+CYCLES = 60_000  # long enough for the rare single-tier leaks to show
+
+
+def _sweep():
+    runner = BenchmarkRunner(SweepConfig(n_cycles=CYCLES))
+    variants = {
+        "both": dict(enable_first_level=True, enable_second_level=True),
+        "first-only": dict(enable_first_level=True, enable_second_level=False),
+        "second-only": dict(enable_first_level=False, enable_second_level=True),
+    }
+    summaries = {}
+    for label, switches in variants.items():
+        summaries[label] = runner.sweep(
+            lambda s, p, _sw=switches: ResonanceTuningController(s, p, **_sw),
+            benchmarks=VIOLATORS,
+        )
+    return summaries
+
+
+def test_bench_ablation_two_tier(benchmark):
+    summaries = run_once(benchmark, _sweep)
+    print()
+    print(f"{'variant':12s} {'violations':>10s} {'avg slowdown':>13s}"
+          f" {'avg E*D':>8s} {'frac 2nd':>9s}")
+    for label, summary in summaries.items():
+        print(f"{label:12s} {summary.total_violation_cycles:10d}"
+              f" {summary.avg_slowdown:13.3f} {summary.avg_energy_delay:8.3f}"
+              f" {summary.avg_second_level_fraction:9.4f}")
+    both = summaries["both"]
+    first_only = summaries["first-only"]
+    second_only = summaries["second-only"]
+    # Only the two-tier design upholds the guarantee.
+    assert both.total_violation_cycles == 0
+    assert first_only.total_violation_cycles > 0
+    # Without the gentle tier, the brute-force stall fires more often.
+    assert (
+        second_only.avg_second_level_fraction
+        > both.avg_second_level_fraction
+    )
+    # The single-tier variants together do not dominate the combination:
+    # first-only is cheaper but unsafe; second-only is both costlier in
+    # stalls and still not safer than the two-tier design.
+    assert both.total_violation_cycles <= second_only.total_violation_cycles

@@ -1,0 +1,52 @@
+"""Extension bench: the convolution-based technique of ref [8].
+
+The paper discusses Grochowski et al. at length (Sections 1 and 3): with
+accurate a-priori current estimates and free real-time convolution, the
+technique works well -- but accurate estimates are hard to obtain, and the
+convolution hardware is the implementation obstacle.  This bench quantifies
+the estimate-accuracy half of that critique: systematic under-estimation
+makes the internal model under-predict the voltage, and violations leak
+through; over-estimation is safe but reacts (and costs) more.
+"""
+
+from repro.baselines import ConvolutionController
+from repro.sim import BenchmarkRunner, SweepConfig
+
+from conftest import BENCH_CYCLES, run_once
+
+APPS = ("swim", "bzip", "parser", "fma3d", "gzip")
+
+
+def _sweep():
+    runner = BenchmarkRunner(SweepConfig(n_cycles=BENCH_CYCLES))
+    results = {}
+    for label, gain in (("accurate", 1.0), ("under-estimate 0.6x", 0.6),
+                        ("over-estimate 1.3x", 1.3)):
+        results[label] = runner.sweep(
+            lambda s, p, _g=gain: ConvolutionController(s, p, estimate_gain=_g),
+            benchmarks=APPS,
+        )
+    return results
+
+
+def test_bench_convolution_estimate_accuracy(benchmark):
+    results = run_once(benchmark, _sweep)
+    print()
+    for label, summary in results.items():
+        print(f"{label:20s}: violations={summary.total_violation_cycles}"
+              f" slowdown={summary.avg_slowdown:.3f}"
+              f" E*D={summary.avg_energy_delay:.3f}"
+              f" response={summary.avg_second_level_fraction:.3f}")
+    accurate = results["accurate"]
+    under = results["under-estimate 0.6x"]
+    over = results["over-estimate 1.3x"]
+    # Accurate estimates eliminate violations at modest cost.
+    assert accurate.total_violation_cycles == 0
+    assert accurate.avg_slowdown < 1.05
+    # The paper's critique: inaccurate (under-) estimates lose the guarantee.
+    assert under.total_violation_cycles > 0
+    # Over-estimation stays safe but reacts more.
+    assert over.total_violation_cycles == 0
+    assert (
+        over.avg_second_level_fraction > accurate.avg_second_level_fraction
+    )

@@ -1,0 +1,138 @@
+"""Extension bench: the whole methodology, applied to new supply designs.
+
+The paper's flow is design-time: analyse the package's RLC loop, calibrate
+the resonant current variation threshold and repetition tolerance by
+circuit simulation, configure the detector for that design's band, ship.
+This bench executes that flow end to end for *three* designs (the Table 1
+capacitance, 25 % less, 50 % more -- resonant periods 87/100/123 cycles),
+each stressed by a workload whose oscillation is tuned into that design's
+own band and whose amplitude sits just above that design's own threshold.
+
+Acceptance: on every design that violates, calibrated resonance tuning
+removes at least 97 % of the base violations at modest slowdown.  (These
+designed workloads oscillate an order of magnitude more violently than the
+SPEC2K-like ones, so a residual at the 1e-4 level can survive; see
+EXPERIMENTS.md on the threshold model's blind spot.)
+
+The C x1.5 design also demonstrates the paper's opening tradeoff from the
+other side: its calibrated threshold (43 A) sits near this processor's
+maximum coherent current swing, so 50 % more decoupling capacitance makes
+the machine nearly immune -- the circuit technique solves what the
+architectural technique otherwise would, at the d-cap area/leakage cost
+the paper's introduction describes.
+"""
+
+from dataclasses import replace
+
+from repro.config import TABLE1_PROCESSOR, TABLE1_SUPPLY, TuningConfig
+from repro.core import ResonanceTuningController
+from repro.power import PowerSupply, RLCAnalysis, calibrate
+from repro.sim import Simulation
+from repro.uarch import Processor, WorkloadProfile
+
+from conftest import run_once
+
+N_CYCLES = 40_000
+
+
+def _workload_for(period_cycles, threshold_amps, episode_periods, seed=5):
+    low = max(20, period_cycles // 2)
+    high_instrs = int(7 * period_cycles / 2)
+    # Scale hot-phase intensity with the design's threshold; designs that
+    # tolerate more than ~32 A need the unthrottled hot phase to violate.
+    if threshold_amps > 32.0:
+        boost_dep = 0
+    else:
+        boost_dep = max(8, round(18 * threshold_amps / 26.0))
+    return WorkloadProfile(
+        name=f"designed-{period_cycles}",
+        frac_fp=0.4, frac_load=0.28, frac_store=0.10, frac_branch=0.08,
+        mean_dep_distance=6.0, l1_miss_rate=0.02,
+        osc_kind="serial", osc_period_instrs=low + high_instrs,
+        osc_low_instrs=low, osc_jitter_instrs=3,
+        osc_boost_ilp=True, osc_boost_dep=boost_dep,
+        osc_episode_periods=episode_periods, osc_gap_instrs=8000,
+        seed=seed,
+    )
+
+
+def _evaluate_design(c_scale):
+    supply_config = replace(
+        TABLE1_SUPPLY,
+        capacitance_farads=TABLE1_SUPPLY.capacitance_farads * c_scale,
+    )
+    analysis = RLCAnalysis(supply_config)
+    calibration = calibrate(supply_config)
+    tuning = TuningConfig(
+        resonant_current_threshold_amps=max(
+            5.0, calibration.threshold_amps - 1.0
+        ),
+        max_repetition_tolerance=max(
+            3, min(6, calibration.max_repetition_tolerance)
+        ),
+    )
+    # Episodes must outlast the design's own repetition tolerance, or the
+    # base processor never violates and there is nothing to prevent.
+    profile = _workload_for(
+        analysis.resonant_period_cycles,
+        calibration.threshold_amps,
+        episode_periods=calibration.max_repetition_tolerance + 3,
+    )
+
+    def run(tuned):
+        processor = Processor.from_profile(
+            profile, n_instructions=int(N_CYCLES * 5),
+            config=TABLE1_PROCESSOR, supply_config=supply_config,
+        )
+        supply = PowerSupply(supply_config, initial_current=35.0)
+        controller = (
+            ResonanceTuningController(supply_config, TABLE1_PROCESSOR, tuning)
+            if tuned else None
+        )
+        return Simulation(
+            processor, supply, controller,
+            benchmark=profile.name, warmup_cycles=2_000,
+        ).run(N_CYCLES)
+
+    base = run(False)
+    tuned = run(True)
+    return {
+        "c_scale": c_scale,
+        "period": analysis.resonant_period_cycles,
+        "threshold": calibration.threshold_amps,
+        "tolerance": calibration.max_repetition_tolerance,
+        "base_violation_fraction": base.violation_fraction,
+        "tuned_violation_fraction": tuned.violation_fraction,
+        "slowdown": base.ipc / tuned.ipc,
+    }
+
+
+def _sweep():
+    return [_evaluate_design(scale) for scale in (0.75, 1.0, 1.5)]
+
+
+def test_bench_design_space(benchmark):
+    results = run_once(benchmark, _sweep)
+    print()
+    for row in results:
+        print(f"C x{row['c_scale']}: period={row['period']}"
+              f" M={row['threshold']:.0f}A tol={row['tolerance']}"
+              f" base={row['base_violation_fraction']:.2e}"
+              f" tuned={row['tuned_violation_fraction']:.2e}"
+              f" slowdown={row['slowdown']:.3f}")
+    violating = [r for r in results if r["base_violation_fraction"] > 1e-4]
+    # The smaller-capacitance designs are genuinely stressed ...
+    assert len(violating) >= 2
+    for row in violating:
+        # ... and calibrated tuning removes at least 97 % of it cheaply.
+        assert (
+            row["tuned_violation_fraction"]
+            <= 0.03 * row["base_violation_fraction"]
+        )
+        assert row["slowdown"] < 1.20
+    # The big-capacitance design is nearly immune by circuit design alone:
+    # its threshold approaches the processor's maximum coherent swing.
+    robust = [r for r in results if r["base_violation_fraction"] <= 1e-4]
+    for row in robust:
+        assert row["threshold"] > 35.0
+        assert row["tuned_violation_fraction"] <= row["base_violation_fraction"]

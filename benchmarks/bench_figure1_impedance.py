@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 1(c) (power-supply impedance vs frequency)."""
+
+import pytest
+
+from repro.experiments import figure1
+
+from conftest import run_once
+
+
+def test_bench_figure1_impedance(benchmark):
+    result = run_once(benchmark, figure1.run)
+    print()
+    print(result.render())
+    # Shape checks against the Section 2 example.
+    assert result.resonant_frequency_hz == pytest.approx(100e6, rel=0.02)
+    assert result.band_low_hz == pytest.approx(92e6, rel=0.02)
+    assert result.band_high_hz == pytest.approx(108e6, rel=0.02)
+    assert result.peak_impedance_ohms > 5 * result.impedance_ohms[0]

@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 3 (stimulation at the resonant frequency)."""
+
+import pytest
+
+from repro.experiments import figure3
+
+from conftest import run_once
+
+
+def test_bench_figure3_stimulation(benchmark):
+    result = run_once(benchmark, figure3.run)
+    print()
+    print(result.render())
+    # The paper's observations: the wave violates, the violation arrives
+    # when the event count reaches the maximum repetition tolerance, and
+    # the post-stimulus ringing dissipates about 66 % per period.
+    assert result.first_violation_cycle is not None
+    assert result.count_at_violation == 4
+    assert result.measured_dissipation_per_period == pytest.approx(0.66, abs=0.05)
+    # Counts rise every half period (roughly 50 cycles apart).
+    milestones = dict(result.count_milestones)
+    assert milestones[3] - milestones[2] == pytest.approx(50, abs=15)
+
+
+def test_bench_figure3_below_threshold_wave(benchmark):
+    """A wave below the resonant current variation threshold never violates."""
+    result = run_once(benchmark, figure3.run, amplitude_pp=20.0)
+    assert result.first_violation_cycle is None

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 4 (voltage/current/event count in parser)."""
+
+from repro.experiments import figure4
+
+from conftest import FULL, run_once
+
+
+def test_bench_figure4_parser(benchmark):
+    result = run_once(
+        benchmark, figure4.run, max_cycles=200_000 if FULL else 60_000
+    )
+    print()
+    print(result.render())
+    # A violation exists, and the event count warned in advance.
+    assert result.violation_cycle is not None
+    assert 2 in result.advance_warning_cycles
+    assert result.advance_warning_cycles[2] > 0
+    # Whole-amp current sensing sufficed to flag it (counts in the window).
+    assert result.event_counts.max() >= 2

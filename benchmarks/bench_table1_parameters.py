@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 1 (system parameters, derived rows calibrated)."""
+
+import pytest
+
+from repro.experiments import table1
+
+from conftest import run_once
+
+
+def test_bench_table1_parameters(benchmark):
+    result = run_once(benchmark, table1.run)
+    print()
+    print(result.render())
+    cal = result.calibration
+    # Derived rows must match the paper exactly ...
+    assert cal.resonant_frequency_hz == pytest.approx(100e6, rel=0.01)
+    assert cal.band_min_period_cycles == 84
+    assert cal.band_max_period_cycles == 119
+    assert result.quality_factor == pytest.approx(2.83, abs=0.01)
+    # ... calibrated rows to the same small-integer / tens-of-amps scale.
+    assert 3 <= cal.max_repetition_tolerance <= 6
+    assert 20 <= cal.threshold_amps <= 40

@@ -1,0 +1,24 @@
+"""Bench: regenerate Table 2 (classification of SPEC2K applications)."""
+
+from repro.experiments import table2
+
+from conftest import FULL, run_once
+
+
+def test_bench_table2_classification(benchmark):
+    if FULL:
+        result = run_once(benchmark, table2.run, n_cycles=120_000)
+    else:
+        result = run_once(benchmark, table2.run, n_cycles=60_000)
+    print()
+    print(result.render())
+    # The paper's split: 12 violating, 14 non-violating.  At reduced scale
+    # the rarest violators may miss their episodes, so allow slack there,
+    # but never a false positive among the non-violating set.
+    false_positives = [
+        row.benchmark for row in result.rows
+        if row.violating and not row.paper_violating
+    ]
+    assert false_positives == []
+    min_expected = 12 if FULL else 8
+    assert len(result.violating) >= min_expected

@@ -1,0 +1,37 @@
+"""Bench: regenerate Table 3 (resonance tuning vs initial response time)."""
+
+from repro.experiments import table3
+
+from conftest import BENCHMARKS, BENCH_CYCLES, FULL, run_once
+
+
+def test_bench_table3_tuning(benchmark):
+    times = (75, 100, 125, 150, 200) if FULL else (75, 100, 200)
+    result = run_once(
+        benchmark,
+        table3.run,
+        initial_response_times=times,
+        n_cycles=BENCH_CYCLES,
+        benchmarks=BENCHMARKS,
+    )
+    print()
+    print(result.render())
+    total_cycles = result.n_cycles * len(result.summaries[0][1].per_benchmark)
+    for _, summary in result.summaries:
+        # The guarantee: violations are (almost) eliminated.  A residual
+        # below 1e-5 of cycles can survive from sub-threshold ring
+        # precharge plus an aligned isolated variation -- a blind spot of
+        # any threshold-based detector (see EXPERIMENTS.md); the default
+        # 100-cycle response time measures exactly zero.
+        assert summary.total_violation_cycles <= max(1, round(1e-5 * total_cycles))
+        # The gentle first level dominates the harsh second level.
+        assert (
+            summary.avg_first_level_fraction
+            > summary.avg_second_level_fraction
+        )
+        # Costs stay in a modest range (paper: 4-8 % slowdown).
+        assert summary.avg_slowdown < 1.15
+    # Longer initial response time => more first-level cycles (paper trend).
+    first = result.summaries[0][1].avg_first_level_fraction
+    last = result.summaries[-1][1].avg_first_level_fraction
+    assert last > first

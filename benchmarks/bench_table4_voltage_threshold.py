@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 4 (the voltage-threshold technique of [10])."""
+
+from repro.experiments import table4
+
+from conftest import BENCHMARKS, BENCH_CYCLES, FULL, run_once
+
+
+def test_bench_table4_voltage_threshold(benchmark):
+    configs = table4.PAPER_CONFIGS if FULL else (
+        table4.VTConfig(30, 0, 0),
+        table4.VTConfig(20, 10, 5),
+        table4.VTConfig(20, 15, 3),
+    )
+    result = run_once(
+        benchmark,
+        table4.run,
+        configs=configs,
+        n_cycles=BENCH_CYCLES,
+        benchmarks=BENCHMARKS,
+    )
+    print()
+    print(result.render())
+    ideal = result.summary_for("30/0/0")
+    noisy = result.summary_for("20/15/3")
+    # Paper trend: ideal sensors are cheap; noise + delay degrade sharply.
+    assert ideal.avg_slowdown < 1.05
+    assert noisy.avg_slowdown > ideal.avg_slowdown + 0.05
+    assert noisy.avg_energy_delay > ideal.avg_energy_delay + 0.10
+    # More responses at the degraded threshold.
+    assert noisy.avg_second_level_fraction > ideal.avg_second_level_fraction

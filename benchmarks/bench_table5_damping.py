@@ -1,0 +1,26 @@
+"""Bench: regenerate Table 5 (pipeline damping as delta tightens)."""
+
+from repro.experiments import table5
+
+from conftest import BENCHMARKS, BENCH_CYCLES, run_once
+
+
+def test_bench_table5_damping(benchmark):
+    result = run_once(
+        benchmark,
+        table5.run,
+        n_cycles=BENCH_CYCLES,
+        benchmarks=BENCHMARKS,
+    )
+    print()
+    print(result.render())
+    loose = result.summary_for(1.0)
+    mid = result.summary_for(0.5)
+    tight = result.summary_for(0.25)
+    # Paper trend: costs rise steeply as delta tightens.
+    assert loose.avg_slowdown <= mid.avg_slowdown <= tight.avg_slowdown
+    assert tight.avg_energy_delay > loose.avg_energy_delay
+    # Our extra column: damping at the resonant frequency only (delta = 1x)
+    # does not cover the band, so violations survive (the paper's critique).
+    assert loose.total_violation_cycles > 0
+    assert tight.total_violation_cycles == 0

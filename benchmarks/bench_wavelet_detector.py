@@ -1,0 +1,67 @@
+"""Extension bench: wavelet-based detection (ref [11]) vs quarter-period sums.
+
+Section 6 suggests wavelet-based analysis as an alternative detector for
+resonance tuning.  The dyadic Haar detector needs only 2 adders for the
+Table 1 band (the full detector needs 9) and still upholds the
+no-violation guarantee -- but its coarse frequency resolution makes it
+less selective: the 16-cycle scale also reacts to variations faster than
+the band, so the tuning responses fire more often and cost more.
+"""
+
+from repro.config import TABLE1_SUPPLY, TABLE1_TUNING
+from repro.core import ResonanceDetector, ResonanceTuningController, WaveletDetector
+from repro.power import RLCAnalysis
+from repro.sim import BenchmarkRunner, SweepConfig
+
+from conftest import BENCH_CYCLES, run_once
+
+APPS = ("swim", "bzip", "parser", "gzip")
+
+
+def _factory(detector_cls):
+    band = RLCAnalysis(TABLE1_SUPPLY).band
+
+    def build(supply, processor):
+        detector = detector_cls(
+            band.half_periods,
+            TABLE1_TUNING.resonant_current_threshold_amps,
+            TABLE1_TUNING.max_repetition_tolerance,
+        )
+        return ResonanceTuningController(supply, processor, detector=detector)
+
+    return build
+
+
+def _sweep():
+    runner = BenchmarkRunner(SweepConfig(n_cycles=BENCH_CYCLES))
+    band = RLCAnalysis(TABLE1_SUPPLY).band
+    adders = {
+        "quarter-period": ResonanceDetector(band.half_periods, 26.0, 4).adder_count,
+        "wavelet": WaveletDetector(band.half_periods, 26.0, 4).adder_count,
+    }
+    summaries = {
+        "quarter-period": runner.sweep(_factory(ResonanceDetector), benchmarks=APPS),
+        "wavelet": runner.sweep(_factory(WaveletDetector), benchmarks=APPS),
+    }
+    return adders, summaries
+
+
+def test_bench_wavelet_detector(benchmark):
+    adders, summaries = run_once(benchmark, _sweep)
+    print()
+    for label in ("quarter-period", "wavelet"):
+        summary = summaries[label]
+        print(f"{label:15s}: adders={adders[label]}"
+              f" violations={summary.total_violation_cycles}"
+              f" slowdown={summary.avg_slowdown:.3f}"
+              f" E*D={summary.avg_energy_delay:.3f}")
+    # Both detectors uphold the guarantee on these workloads.
+    assert summaries["quarter-period"].total_violation_cycles == 0
+    assert summaries["wavelet"].total_violation_cycles == 0
+    # The wavelet detector is cheaper hardware ...
+    assert adders["wavelet"] < adders["quarter-period"]
+    # ... but less selective, so the tuning costs more under it.
+    assert (
+        summaries["wavelet"].avg_energy_delay
+        >= summaries["quarter-period"].avg_energy_delay
+    )

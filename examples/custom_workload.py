@@ -1,0 +1,92 @@
+"""Bring your own workload: define a profile, check it, protect it.
+
+Shows the library's workload API: build a custom statistical profile whose
+activity oscillates inside the resonance band, confirm on the base
+processor that it causes noise-margin violations, then enable resonance
+tuning and confirm the violations are gone -- and what the protection cost.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.config import TABLE1_PROCESSOR, TABLE1_SUPPLY
+from repro.core import ResonanceTuningController
+from repro.power import PowerSupply, RLCAnalysis
+from repro.sim import Simulation
+from repro.uarch import Processor, WorkloadProfile
+
+# A synthetic "video encoder": FP-heavy inner loops with a macroblock
+# boundary stall roughly every hundred cycles -- squarely in the band.
+ENCODER = WorkloadProfile(
+    name="encoder",
+    description="FP kernel with ~100-cycle macroblock phases",
+    frac_fp=0.55,
+    frac_load=0.27,
+    frac_store=0.10,
+    frac_branch=0.05,
+    mean_dep_distance=7.0,
+    dep2_probability=0.55,
+    l1_miss_rate=0.02,
+    osc_kind="serial",
+    osc_period_instrs=420,
+    osc_low_instrs=50,
+    osc_jitter_instrs=3,
+    osc_boost_ilp=True,
+    osc_boost_dep=16,
+    # Macroblock phases come in episodes: a burst of band-period activity
+    # per macroblock row, then a quieter stretch.
+    osc_episode_periods=6,
+    osc_gap_instrs=9_000,
+    seed=7,
+)
+
+N_CYCLES = 40_000
+
+
+def run(controller=None):
+    processor = Processor.from_profile(
+        ENCODER,
+        n_instructions=int(N_CYCLES * 4.5),
+        config=TABLE1_PROCESSOR,
+        supply_config=TABLE1_SUPPLY,
+    )
+    supply = PowerSupply(
+        TABLE1_SUPPLY, initial_current=TABLE1_PROCESSOR.min_current_amps
+    )
+    simulation = Simulation(
+        processor, supply, controller, benchmark=ENCODER.name,
+        warmup_cycles=2_000,
+    )
+    return simulation.run(N_CYCLES)
+
+
+def main():
+    band = RLCAnalysis(TABLE1_SUPPLY).band
+    print(f"resonance band: {band.min_period_cycles}-"
+          f"{band.max_period_cycles} cycles\n")
+
+    base = run()
+    print(f"base     : IPC {base.ipc:.2f},"
+          f" violation fraction {base.violation_fraction:.2e}"
+          f" ({base.violation_cycles} cycles)")
+
+    tuned = run(ResonanceTuningController(TABLE1_SUPPLY, TABLE1_PROCESSOR))
+    relative = tuned.relative_to(base)
+    print(f"tuned    : violation fraction {relative.violation_fraction:.2e},"
+          f" slowdown {relative.slowdown:.3f},"
+          f" relative energy-delay {relative.energy_delay:.3f}")
+    print(f"responses: first-level {relative.first_level_fraction:.1%}"
+          f" of cycles, second-level {relative.second_level_fraction:.2%}")
+
+    if base.violation_cycles:
+        reduction = 1.0 - tuned.violation_cycles / base.violation_cycles
+        if tuned.violation_cycles == 0:
+            print("\nresonance tuning eliminated every violation.")
+        else:
+            print(f"\nresonance tuning removed {reduction:.1%} of the"
+                  " violations.  (This encoder resonates an order of"
+                  " magnitude harder than the SPEC2K-like workloads; see"
+                  " EXPERIMENTS.md on the residual.)")
+
+
+if __name__ == "__main__":
+    main()

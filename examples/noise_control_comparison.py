@@ -1,0 +1,55 @@
+"""Compare the three inductive-noise control techniques head to head.
+
+Runs resonance tuning, the voltage-threshold technique of [10] (ideal and
+realistic sensor models) and pipeline damping [14] (loose and tight delta)
+on a mix of violating and well-behaved workloads, and prints the paper's
+headline metrics: violations remaining, slowdown and relative energy-delay.
+
+Run:  python examples/noise_control_comparison.py [benchmark ...]
+"""
+
+import sys
+
+from repro.baselines import PipelineDampingController, VoltageThresholdController
+from repro.config import TABLE1_TUNING, TuningConfig
+from repro.core import ResonanceTuningController
+from repro.sim import BenchmarkRunner, SweepConfig
+
+DEFAULT_BENCHMARKS = ("swim", "parser", "mcf", "fma3d", "gzip")
+
+TECHNIQUES = [
+    ("resonance tuning (75)", lambda s, p: ResonanceTuningController(
+        s, p, TuningConfig(initial_response_time=75))),
+    ("resonance tuning (100)", lambda s, p: ResonanceTuningController(
+        s, p, TABLE1_TUNING)),
+    ("[10] ideal 30mV", lambda s, p: VoltageThresholdController(
+        s, p, target_threshold_volts=0.030)),
+    ("[10] noisy 20/15/3", lambda s, p: VoltageThresholdController(
+        s, p, 0.020, 0.015, 3)),
+    ("damping delta=1.0x", lambda s, p: PipelineDampingController(
+        s, p, delta_amps=TABLE1_TUNING.resonant_current_threshold_amps)),
+    ("damping delta=0.25x", lambda s, p: PipelineDampingController(
+        s, p, delta_amps=0.25 * TABLE1_TUNING.resonant_current_threshold_amps)),
+]
+
+
+def main(benchmarks) -> None:
+    runner = BenchmarkRunner(SweepConfig(n_cycles=40_000))
+    print(f"benchmarks: {', '.join(benchmarks)}")
+    print(f"{'technique':24s} {'viol.frac':>10s} {'avg slowdown':>13s}"
+          f" {'avg E*D':>8s}")
+    for name in benchmarks:
+        base = runner.run_base(name)
+        print(f"  base {name}: IPC {base.ipc:.2f},"
+              f" violations {base.violation_fraction:.2e}")
+    for label, factory in TECHNIQUES:
+        rows = [runner.compare(name, factory) for name in benchmarks]
+        violations = sum(r.violation_fraction for r in rows)
+        slowdown = sum(r.slowdown for r in rows) / len(rows)
+        energy_delay = sum(r.energy_delay for r in rows) / len(rows)
+        print(f"{label:24s} {violations:10.2e} {slowdown:13.3f}"
+              f" {energy_delay:8.3f}")
+
+
+if __name__ == "__main__":
+    main(tuple(sys.argv[1:]) or DEFAULT_BENCHMARKS)

@@ -1,0 +1,52 @@
+"""Power-supply design-space exploration.
+
+A packaging engineer's view of Section 2: sweep the on-die decoupling
+capacitance and supply impedance, and for each design point compute the
+resonant frequency, resonance band, quality factor and -- via the circuit
+calibration of Section 2.1.3 -- the resonant current variation threshold and
+maximum repetition tolerance.  Shows how more capacitance lowers the
+resonant frequency (more cycles per period: easier for resonance tuning)
+while lower impedance raises Q (slower dissipation: more repetitions reach
+the margin).
+
+Run:  python examples/power_supply_design.py
+"""
+
+from dataclasses import replace
+
+from repro.config import TABLE1_SUPPLY
+from repro.errors import CalibrationError
+from repro.power import RLCAnalysis, calibrate
+
+
+def explore():
+    print(f"{'C (nF)':>7s} {'R (uOhm)':>9s} {'f0 (MHz)':>9s} {'Q':>5s}"
+          f" {'band (cycles)':>14s} {'M (A)':>6s} {'tolerance':>9s}")
+    for capacitance_nf in (750, 1500, 3000):
+        for resistance_uohm in (250, 375, 500):
+            config = replace(
+                TABLE1_SUPPLY,
+                capacitance_farads=capacitance_nf * 1e-9,
+                resistance_ohms=resistance_uohm * 1e-6,
+            )
+            analysis = RLCAnalysis(config)
+            if not analysis.is_underdamped:
+                print(f"{capacitance_nf:7d} {resistance_uohm:9d}"
+                      "  (overdamped: no resonance problem)")
+                continue
+            band = analysis.band
+            try:
+                result = calibrate(config)
+                threshold = f"{result.threshold_amps:.0f}"
+                tolerance = str(result.max_repetition_tolerance)
+            except CalibrationError:
+                threshold, tolerance = "inf", "-"
+            print(f"{capacitance_nf:7d} {resistance_uohm:9d}"
+                  f" {analysis.resonant_frequency_hz / 1e6:9.1f}"
+                  f" {analysis.quality_factor:5.2f}"
+                  f" {band.min_period_cycles:6d}-{band.max_period_cycles:<6d}"
+                  f" {threshold:>6s} {tolerance:>9s}")
+
+
+if __name__ == "__main__":
+    explore()

@@ -1,0 +1,88 @@
+"""Quickstart: the whole pipeline in one script.
+
+1. Analyse the Table 1 power-distribution network (resonance, band, Q).
+2. Stimulate it with a square wave at the resonant frequency and watch the
+   resonant event count climb to a noise-margin violation (Figure 3).
+3. Run a violating SPEC2K-like workload on the out-of-order processor with
+   and without resonance tuning and compare.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import TABLE1_PROCESSOR, TABLE1_SUPPLY, TABLE1_TUNING
+from repro.core import CurrentSensor, ResonanceDetector, ResonanceTuningController
+from repro.power import PowerSupply, RLCAnalysis, waveforms
+from repro.sim import BenchmarkRunner, SweepConfig
+
+
+def analyse_supply():
+    print("== 1. Power-supply resonance (Table 1 circuit) ==")
+    analysis = RLCAnalysis(TABLE1_SUPPLY)
+    band = analysis.band
+    print(f"  resonant frequency : {analysis.resonant_frequency_hz / 1e6:.1f} MHz"
+          f" ({analysis.resonant_period_cycles} cycles at 10 GHz)")
+    print(f"  quality factor Q   : {analysis.quality_factor:.2f}")
+    print(f"  resonance band     : {band.min_period_cycles}-"
+          f"{band.max_period_cycles} cycles"
+          f" ({band.low_hz / 1e6:.1f}-{band.high_hz / 1e6:.1f} MHz)")
+    print(f"  ringing dissipation: {analysis.dissipation_per_period:.0%}"
+          " per period")
+    print()
+
+
+def stimulate_at_resonance():
+    print("== 2. Square-wave stimulation at the resonant frequency ==")
+    analysis = RLCAnalysis(TABLE1_SUPPLY)
+    wave = waveforms.square_wave(
+        n_cycles=700,
+        period_cycles=analysis.resonant_period_cycles,
+        amplitude_pp=34.0,
+        mean=70.0,
+        start=100,
+        end=500,
+    )
+    supply = PowerSupply(TABLE1_SUPPLY, initial_current=70.0)
+    detector = ResonanceDetector(
+        analysis.band.half_periods,
+        TABLE1_TUNING.resonant_current_threshold_amps,
+        TABLE1_TUNING.max_repetition_tolerance,
+    )
+    sensor = CurrentSensor()
+    count_at_violation = None
+    for cycle, current in enumerate(wave):
+        supply.step(current)
+        detector.observe(cycle, sensor.read(current))
+        if count_at_violation is None and supply.first_violation_cycle is not None:
+            count_at_violation = detector.current_count(cycle)
+    print(f"  34 A square wave, cycles 100-500")
+    print(f"  first violation at cycle {supply.first_violation_cycle}"
+          f" with event count {count_at_violation}"
+          f" (max repetition tolerance is"
+          f" {TABLE1_TUNING.max_repetition_tolerance})")
+    print(f"  violation cycles: {supply.violation_cycles}")
+    print()
+
+
+def tune_a_workload():
+    print("== 3. Resonance tuning on the 'swim' workload ==")
+    runner = BenchmarkRunner(SweepConfig(n_cycles=40_000))
+    base = runner.run_base("swim")
+    metrics = runner.compare(
+        "swim",
+        lambda supply, processor: ResonanceTuningController(
+            supply, processor, TABLE1_TUNING
+        ),
+    )
+    print(f"  base: IPC {base.ipc:.2f}, violation fraction"
+          f" {base.violation_fraction:.2e}")
+    print(f"  tuned: violation fraction {metrics.violation_fraction:.2e},"
+          f" slowdown {metrics.slowdown:.3f},"
+          f" relative energy-delay {metrics.energy_delay:.3f}")
+    print(f"  cycles in first-level response : {metrics.first_level_fraction:.1%}")
+    print(f"  cycles in second-level response: {metrics.second_level_fraction:.2%}")
+
+
+if __name__ == "__main__":
+    analyse_supply()
+    stimulate_at_resonance()
+    tune_a_workload()

@@ -1,0 +1,54 @@
+"""repro: reproduction of "Exploiting Resonant Behavior to Reduce Inductive
+Noise" (Powell & Vijaykumar, ISCA 2004).
+
+The package builds, from scratch, everything the paper's evaluation needs:
+
+* :mod:`repro.power` -- the second-order RLC power-distribution model,
+  Heun-formula simulation, and the Section 2.1.3 calibration procedure.
+* :mod:`repro.uarch` -- an 8-wide out-of-order processor simulator with a
+  Wattch-like activity-based power model and synthetic SPEC2K-like workloads.
+* :mod:`repro.core` -- the paper's contribution: current sensing, resonant
+  event detection over the whole resonance band, and the two-tier resonance
+  tuning controller.
+* :mod:`repro.baselines` -- the compared techniques: the voltage-threshold
+  control of Joseph et al. (ref [10]) and pipeline damping (ref [14]).
+* :mod:`repro.sim` -- the cycle loop wiring processor, supply and controller,
+  plus metrics and batch sweeps.
+* :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from repro.config import (
+    PowerSupplyConfig,
+    ProcessorConfig,
+    TuningConfig,
+    TABLE1_PROCESSOR,
+    TABLE1_SUPPLY,
+    TABLE1_TUNING,
+    SECTION2_SUPPLY,
+)
+from repro.errors import (
+    CalibrationError,
+    CircuitError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.version import __version__
+
+__all__ = [
+    "PowerSupplyConfig",
+    "ProcessorConfig",
+    "TuningConfig",
+    "TABLE1_PROCESSOR",
+    "TABLE1_SUPPLY",
+    "TABLE1_TUNING",
+    "SECTION2_SUPPLY",
+    "CalibrationError",
+    "CircuitError",
+    "ConfigurationError",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "__version__",
+]

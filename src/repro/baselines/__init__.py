@@ -1,0 +1,21 @@
+"""The techniques the paper compares against (Section 5.3).
+
+* :class:`~repro.baselines.voltage_threshold.VoltageThresholdController` --
+  the voltage-sensing control of Joseph, Brooks & Martonosi (HPCA'03,
+  the paper's reference [10]).
+* :class:`~repro.baselines.damping.PipelineDampingController` -- pipeline
+  damping (Powell & Vijaykumar, ISCA'03, the paper's reference [14]).
+* :class:`~repro.baselines.convolution.ConvolutionController` -- the
+  convolution-based prediction of Grochowski et al. (HPCA'02, the paper's
+  reference [8]), discussed throughout Sections 1 and 3.
+"""
+
+from repro.baselines.convolution import ConvolutionController
+from repro.baselines.damping import PipelineDampingController
+from repro.baselines.voltage_threshold import VoltageThresholdController
+
+__all__ = [
+    "ConvolutionController",
+    "PipelineDampingController",
+    "VoltageThresholdController",
+]

@@ -1,0 +1,126 @@
+"""The voltage-threshold baseline of Joseph, Brooks & Martonosi (ref [10]).
+
+The technique senses the supply voltage each cycle and reacts whenever the
+(noisy, delayed) reading crosses a threshold inside the noise margin:
+
+* voltage too **low** (current spiked): stop fetch and instruction issue --
+  the paper's substitution for instantly clock-gating the back-end, which
+  Section 5.3.1 argues is unrealistic;
+* voltage too **high** (current dropped): phantom-fire the L1 caches and
+  functional units, raising current back up.
+
+Following Section 5.3.1, the configured *target* threshold is degraded by
+half the sensor's peak-to-peak noise to the *actual* threshold, and a
+sensor/control delay shifts reactions by whole cycles.  Because the
+technique does not distinguish resonant from non-resonant variations --
+or from the supply's own ringing, which this simulation faithfully feeds
+back to it -- lower thresholds react to ever more spurious variations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.config import PowerSupplyConfig, ProcessorConfig
+from repro.core.controller import NoiseController
+from repro.errors import ConfigurationError
+from repro.uarch.pipeline import ControlDirectives, NO_CONTROL
+
+__all__ = ["VoltageThresholdController"]
+
+
+class VoltageThresholdController(NoiseController):
+    """Reacts to supply-voltage threshold crossings (the [10] baseline)."""
+
+    name = "voltage-threshold"
+
+    def __init__(
+        self,
+        supply_config: PowerSupplyConfig,
+        processor_config: ProcessorConfig,
+        target_threshold_volts: float = 0.030,
+        sensor_noise_pp_volts: float = 0.0,
+        delay_cycles: int = 0,
+        hold_cycles: int = 5,
+        seed: Optional[int] = 0,
+    ):
+        margin = supply_config.noise_margin_volts
+        actual = target_threshold_volts - 0.5 * sensor_noise_pp_volts
+        if not 0 < actual <= margin:
+            raise ConfigurationError(
+                "actual threshold (target minus half the noise) must lie"
+                f" inside the noise margin; got {actual * 1000:.1f} mV"
+            )
+        if delay_cycles < 0:
+            raise ConfigurationError("delay_cycles must be non-negative")
+        if hold_cycles < 1:
+            raise ConfigurationError("hold_cycles must be at least 1")
+        self.supply_config = supply_config
+        self.processor_config = processor_config
+        self.target_threshold_volts = target_threshold_volts
+        self.sensor_noise_pp_volts = sensor_noise_pp_volts
+        self.actual_threshold_volts = actual
+        self.delay_cycles = delay_cycles
+        #: once triggered, a response persists this many cycles: clock-gate
+        #: and phantom-fire signals distributed across the die cannot toggle
+        #: every cycle, and [10]'s responses fire resources for a window
+        self.hold_cycles = hold_cycles
+        self._rng = np.random.default_rng(seed) if sensor_noise_pp_volts else None
+        # Pre-filled with nominal voltage so the first readings the sensor
+        # delivers are the quiescent supply, not a leaked fresh value.
+        self._delay_line = deque(
+            [0.0] * (delay_cycles + 1), maxlen=delay_cycles + 1
+        )
+        self._mode = 0  # -1 = voltage low (throttle), +1 = voltage high (fire)
+        self._hold_until = -1
+        self._low_directives = ControlDirectives(stall_fetch=True, stall_issue=True)
+        self._high_directives = ControlDirectives(
+            current_floor_amps=processor_config.medium_current_amps
+        )
+        self.response_cycles = 0
+        self.low_response_cycles = 0
+        self.high_response_cycles = 0
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, cycle: int, current_amps: float, voltage_volts: float, stats=None
+    ) -> None:
+        reading = voltage_volts
+        if self._rng is not None:
+            reading += self._rng.uniform(
+                -0.5 * self.sensor_noise_pp_volts, 0.5 * self.sensor_noise_pp_volts
+            )
+        self._delay_line.append(reading)
+        delayed = self._delay_line[0]
+        if delayed < -self.actual_threshold_volts:
+            self._mode = -1
+            self._hold_until = cycle + self.hold_cycles
+        elif delayed > self.actual_threshold_volts:
+            self._mode = 1
+            self._hold_until = cycle + self.hold_cycles
+        elif cycle >= self._hold_until:
+            self._mode = 0
+
+    def directives(self, cycle: int) -> ControlDirectives:
+        if self._mode == 0:
+            return NO_CONTROL
+        self.response_cycles += 1
+        if self._mode < 0:
+            self.low_response_cycles += 1
+            return self._low_directives
+        self.high_response_cycles += 1
+        return self._high_directives
+
+    # ------------------------------------------------------------------
+    @property
+    def response_cycle_fractions(self) -> dict:
+        # Reported as "second level" because each response's cost is
+        # comparable to resonance tuning's second-level response (stalls and
+        # phantom firing; Section 5.3.1).
+        return {
+            "first_level_cycles": 0,
+            "second_level_cycles": self.response_cycles,
+        }

@@ -1,0 +1,208 @@
+"""Top-level command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``analyze``   -- resonance characteristics of a power supply;
+* ``calibrate`` -- the Section 2.1.3 calibration (threshold, tolerance);
+* ``classify``  -- run benchmarks on the base processor and classify them;
+* ``compare``   -- run one technique against the base on chosen benchmarks;
+* ``experiment``-- regenerate a paper table/figure (see repro.experiments).
+
+All circuit parameters default to the Table 1 design point and can be
+overridden with flags, so the tool doubles as a quick design-space probe.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.config import PowerSupplyConfig, TABLE1_SUPPLY, TuningConfig
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _supply_from_args(args) -> PowerSupplyConfig:
+    return replace(
+        TABLE1_SUPPLY,
+        resistance_ohms=args.resistance_uohm * 1e-6,
+        inductance_henries=args.inductance_ph * 1e-12,
+        capacitance_farads=args.capacitance_nf * 1e-9,
+        clock_hz=args.clock_ghz * 1e9,
+    )
+
+
+def _add_supply_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--resistance-uohm", type=float, default=375.0,
+                        help="supply impedance R in micro-ohms")
+    parser.add_argument("--inductance-ph", type=float, default=1.69,
+                        help="die-to-package inductance L in picohenries")
+    parser.add_argument("--capacitance-nf", type=float, default=1500.0,
+                        help="on-die decoupling capacitance C in nanofarads")
+    parser.add_argument("--clock-ghz", type=float, default=10.0,
+                        help="processor clock in gigahertz")
+
+
+def _cmd_analyze(args) -> int:
+    from repro.power.rlc import RLCAnalysis
+
+    analysis = RLCAnalysis(_supply_from_args(args))
+    if not analysis.is_underdamped:
+        print("circuit is not underdamped: no resonance problem")
+        return 0
+    band = analysis.band
+    print(f"resonant frequency : {analysis.resonant_frequency_hz / 1e6:.2f} MHz"
+          f" ({analysis.resonant_period_cycles} cycles)")
+    print(f"quality factor Q   : {analysis.quality_factor:.3f}")
+    print(f"resonance band     : {band.low_hz / 1e6:.2f}-"
+          f"{band.high_hz / 1e6:.2f} MHz"
+          f" ({band.min_period_cycles}-{band.max_period_cycles} cycles)")
+    print(f"damping rate       : {analysis.damping_coefficient:.3e} nepers/s")
+    print(f"dissipation/period : {analysis.dissipation_per_period:.1%}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.power.calibration import calibrate
+
+    result = calibrate(_supply_from_args(args))
+    print(f"resonant current variation threshold : {result.threshold_amps:.0f} A")
+    print(f"band-edge tolerable variation        : "
+          f"{result.band_edge_tolerable_amps:.0f} A")
+    print(f"maximum repetition tolerance         : "
+          f"{result.max_repetition_tolerance} half-waves")
+    print(f"second-level quiet time              : "
+          f"{result.second_level_response_cycles} cycles")
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    from repro.experiments import table2
+
+    result = table2.run(n_cycles=args.cycles, benchmarks=args.benchmarks or None)
+    print(result.render())
+    return 0
+
+
+def _technique_factory(args):
+    name = args.technique
+    if name == "tuning":
+        tuning = TuningConfig(initial_response_time=args.response_time)
+
+        def factory(supply, processor):
+            from repro.core.tuning import ResonanceTuningController
+
+            return ResonanceTuningController(supply, processor, tuning)
+
+    elif name == "voltage-threshold":
+        def factory(supply, processor):
+            from repro.baselines.voltage_threshold import (
+                VoltageThresholdController,
+            )
+
+            return VoltageThresholdController(
+                supply,
+                processor,
+                target_threshold_volts=args.threshold_mv * 1e-3,
+                sensor_noise_pp_volts=args.noise_mv * 1e-3,
+                delay_cycles=args.delay,
+            )
+
+    elif name == "damping":
+        def factory(supply, processor):
+            from repro.baselines.damping import PipelineDampingController
+
+            return PipelineDampingController(supply, processor, args.delta_amps)
+
+    elif name == "convolution":
+        def factory(supply, processor):
+            from repro.baselines.convolution import ConvolutionController
+
+            return ConvolutionController(
+                supply, processor, estimate_gain=args.estimate_gain
+            )
+
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown technique {name}")
+    return factory
+
+
+def _cmd_compare(args) -> int:
+    from repro.sim.runner import BenchmarkRunner, SweepConfig
+
+    runner = BenchmarkRunner(SweepConfig(n_cycles=args.cycles))
+    factory = _technique_factory(args)
+    benchmarks = args.benchmarks or ["swim", "parser", "fma3d"]
+    print(f"{'benchmark':10s} {'base viol':>10s} {'tech viol':>10s}"
+          f" {'slowdown':>9s} {'E*D':>7s}")
+    for name in benchmarks:
+        base = runner.run_base(name)
+        metrics = runner.compare(name, factory)
+        print(f"{name:10s} {base.violation_fraction:10.2e}"
+              f" {metrics.violation_fraction:10.2e}"
+              f" {metrics.slowdown:9.3f} {metrics.energy_delay:7.3f}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.registry import run_experiment
+
+    result = run_experiment(args.name, quick=args.quick)
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Resonance tuning for inductive noise (ISCA 2004 repro)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser("analyze", help="resonance characteristics")
+    _add_supply_flags(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    calibrate = commands.add_parser("calibrate", help="Section 2.1.3 calibration")
+    _add_supply_flags(calibrate)
+    calibrate.set_defaults(func=_cmd_calibrate)
+
+    classify = commands.add_parser("classify", help="Table 2 classification")
+    classify.add_argument("benchmarks", nargs="*", help="subset (default all)")
+    classify.add_argument("--cycles", type=int, default=60_000)
+    classify.set_defaults(func=_cmd_classify)
+
+    compare = commands.add_parser("compare", help="technique vs base processor")
+    compare.add_argument(
+        "technique",
+        choices=["tuning", "voltage-threshold", "damping", "convolution"],
+    )
+    compare.add_argument("benchmarks", nargs="*", help="subset (default demo trio)")
+    compare.add_argument("--cycles", type=int, default=40_000)
+    compare.add_argument("--response-time", type=int, default=100,
+                         help="tuning: initial response time")
+    compare.add_argument("--threshold-mv", type=float, default=30.0,
+                         help="voltage-threshold: target threshold (mV)")
+    compare.add_argument("--noise-mv", type=float, default=0.0,
+                         help="voltage-threshold: sensor noise p-p (mV)")
+    compare.add_argument("--delay", type=int, default=0,
+                         help="voltage-threshold: sensor delay (cycles)")
+    compare.add_argument("--delta-amps", type=float, default=13.0,
+                         help="damping: allowed window variation (A)")
+    compare.add_argument("--estimate-gain", type=float, default=1.0,
+                         help="convolution: systematic estimate gain")
+    compare.set_defaults(func=_cmd_compare)
+
+    experiment = commands.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument("name", help="e.g. table3, figure5")
+    experiment.add_argument("--quick", action="store_true")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

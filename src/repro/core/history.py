@@ -1,0 +1,127 @@
+"""History registers for resonant-event detection (Section 3.1).
+
+Two small hardware-like structures:
+
+* :class:`CurrentHistoryRegister` -- the per-cycle current history over the
+  last half of the longest band period, kept as a running cumulative sum so
+  each quarter-period comparison is O(1) (the paper's "current-history
+  adders").
+* :class:`EventHistoryRegister` -- a one-bit-per-cycle shift register of
+  detected resonant events of one polarity (the paper's high-low and
+  low-high histories), long enough to cover the maximum repetition
+  tolerance.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["CurrentHistoryRegister", "EventHistoryRegister"]
+
+
+class CurrentHistoryRegister:
+    """Running cumulative current sums over a sliding cycle window.
+
+    ``quarter_diff(q)`` returns ``sum(last q cycles) - sum(previous q
+    cycles)``: positive when current rose (a low-to-high transition),
+    negative when it fell.
+    """
+
+    def __init__(self, max_quarter_period: int):
+        if max_quarter_period < 1:
+            raise ConfigurationError("max_quarter_period must be at least 1")
+        self.max_quarter_period = max_quarter_period
+        size = 1
+        while size < 2 * max_quarter_period + 1:
+            size *= 2
+        self._size = size
+        self._mask = size - 1
+        self._cumsum = [0.0] * size
+        self._cycles_seen = 0
+
+    def append(self, current_amps: float) -> None:
+        """Record one cycle's sensed current."""
+        index = self._cycles_seen & self._mask
+        previous = self._cumsum[(self._cycles_seen - 1) & self._mask]
+        self._cumsum[index] = previous + current_amps
+        self._cycles_seen += 1
+
+    @property
+    def cycles_seen(self) -> int:
+        return self._cycles_seen
+
+    def ready(self, quarter_period: int) -> bool:
+        """True once enough history exists to compare two quarter periods."""
+        return self._cycles_seen >= 2 * quarter_period
+
+    def quarter_diff(self, quarter_period: int) -> float:
+        """Difference between the two most recent quarter-period sums."""
+        if quarter_period < 1 or quarter_period > self.max_quarter_period:
+            raise SimulationError(
+                f"quarter period {quarter_period} outside register range"
+            )
+        if not self.ready(quarter_period):
+            raise SimulationError("insufficient history for this quarter period")
+        newest = (self._cycles_seen - 1) & self._mask
+        mid = (self._cycles_seen - 1 - quarter_period) & self._mask
+        oldest = (self._cycles_seen - 1 - 2 * quarter_period) & self._mask
+        return (
+            self._cumsum[newest]
+            - 2.0 * self._cumsum[mid]
+            + self._cumsum[oldest]
+        )
+
+
+class EventHistoryRegister:
+    """One-bit-per-cycle shift register of resonant events of one polarity."""
+
+    def __init__(self, length_cycles: int):
+        if length_cycles < 1:
+            raise ConfigurationError("length_cycles must be at least 1")
+        self.length_cycles = length_cycles
+        size = 1
+        while size < length_cycles + 1:
+            size *= 2
+        self._mask = size - 1
+        self._bits = bytearray(size)
+        self._cycle = -1
+
+    def shift(self, cycle: int, event: bool) -> None:
+        """Record this cycle's event bit (must be called every cycle)."""
+        if cycle != self._cycle + 1:
+            raise SimulationError(
+                f"event history must shift every cycle (got {cycle}, "
+                f"expected {self._cycle + 1})"
+            )
+        self._bits[cycle & self._mask] = 1 if event else 0
+        self._cycle = cycle
+
+    def has_event_at(self, cycle: int) -> bool:
+        """Was an event recorded at ``cycle`` (and is it still in range)?"""
+        if cycle < 0 or cycle > self._cycle:
+            return False
+        if self._cycle - cycle >= self.length_cycles:
+            return False
+        return bool(self._bits[cycle & self._mask])
+
+    def latest_event_in(self, start_cycle: int, end_cycle: int) -> "int | None":
+        """Most recent event cycle within ``[start_cycle, end_cycle]``."""
+        lo = max(start_cycle, self._cycle - self.length_cycles + 1, 0)
+        for cycle in range(min(end_cycle, self._cycle), lo - 1, -1):
+            if self._bits[cycle & self._mask]:
+                return cycle
+        return None
+
+    def run_start(self, cycle: int) -> int:
+        """First cycle of the consecutive-event run containing ``cycle``.
+
+        Events in consecutive cycles are one physical variation spanning
+        several cycles and must count only once (Section 3.1.3); counting
+        code uses the run's start as the event's canonical cycle.
+        """
+        if not self.has_event_at(cycle):
+            raise SimulationError(f"no event at cycle {cycle}")
+        start = cycle
+        while start > 0 and self.has_event_at(start - 1):
+            start -= 1
+        return start

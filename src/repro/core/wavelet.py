@@ -1,0 +1,75 @@
+"""Wavelet-based resonance detection (the alternative of ref [11]).
+
+Joseph, Hu & Martonosi (HPCA'04, the paper's reference [11]) characterize
+di/dt with wavelets and propose a simplified wavelet-based convolution as an
+on-line control.  The paper's Section 6 notes this "may be an alternative to
+using maximum repetition tolerance and resonant current variation threshold"
+for detecting resonant behaviour -- this module builds exactly that
+alternative so the two detectors can be compared.
+
+A Haar detail coefficient at dyadic scale ``s`` is the difference between
+the sums of the last ``s`` samples and the previous ``s`` samples -- the
+same comparison resonance tuning performs at each quarter period, but
+restricted to powers of two.  The wavelet detector therefore reuses the
+event/chaining machinery with dyadic scales only:
+
+* cheaper hardware: 2 adders cover the Table 1 band where the full detector
+  needs 9 (and a dyadic cascade could share partial sums further);
+* coarser frequency resolution: band-edge variations fall between scales
+  and are detected with less margin (the comparison bench quantifies this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.detector import ResonanceDetector
+from repro.errors import ConfigurationError
+
+__all__ = ["dyadic_scales_for_band", "WaveletDetector"]
+
+
+def dyadic_scales_for_band(half_periods: Sequence[int]) -> List[int]:
+    """Powers of two bracketing the band's quarter periods.
+
+    For the Table 1 band (half-periods 42-59, quarter periods 21-29) this
+    returns ``[16, 32]``: the largest scale at or below the smallest quarter
+    and the smallest scale at or above the largest one.
+    """
+    if not half_periods:
+        raise ConfigurationError("half_periods must be non-empty")
+    quarters = sorted({int(h) // 2 for h in half_periods})
+    if quarters[0] < 1:
+        raise ConfigurationError("half periods must be at least 2 cycles")
+    low = 1
+    while low * 2 <= quarters[0]:
+        low *= 2
+    high = 1
+    while high < quarters[-1]:
+        high *= 2
+    scales = sorted({s for s in (low, high) if s >= 1})
+    # Include any intermediate dyadic scales for very wide bands.
+    scale = low * 2
+    while scale < high:
+        scales.append(scale)
+        scale *= 2
+    return sorted(set(scales))
+
+
+class WaveletDetector(ResonanceDetector):
+    """Resonant-event detection from dyadic Haar detail coefficients."""
+
+    def __init__(
+        self,
+        half_periods: Sequence[int],
+        threshold_amps: float,
+        max_repetition_tolerance: int,
+        chain_window_slack: int = 4,
+    ):
+        super().__init__(
+            half_periods=half_periods,
+            threshold_amps=threshold_amps,
+            max_repetition_tolerance=max_repetition_tolerance,
+            chain_window_slack=chain_window_slack,
+            quarter_periods=dyadic_scales_for_band(half_periods),
+        )

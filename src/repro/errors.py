@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class CircuitError(ReproError):
+    """A power-supply circuit is physically invalid for the requested analysis."""
+
+
+class CalibrationError(ReproError):
+    """A calibration search failed to converge or was given impossible bounds."""
+
+
+class TraceError(ReproError):
+    """A synthetic instruction trace is malformed or exhausted unexpectedly."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulation reached an inconsistent state."""

@@ -1,0 +1,39 @@
+"""One module per table and figure in the paper's evaluation.
+
+Run from the command line::
+
+    python -m repro.experiments table3 --quick
+    python -m repro.experiments all
+
+or programmatically via :func:`repro.experiments.registry.run_experiment`.
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported submodules)
+    ablations,
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    persistence,
+    report,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+__all__ = [
+    "ablations",
+    "persistence",
+    "figure1",
+    "figure3",
+    "figure4",
+    "figure5",
+    "report",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]

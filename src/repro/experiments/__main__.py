@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.experiments <id> [--quick]``."""
+
+import sys
+
+from repro.experiments.registry import main
+
+if __name__ == "__main__":
+    sys.exit(main())

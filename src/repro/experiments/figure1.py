@@ -1,0 +1,89 @@
+"""Figure 1(c): power-supply impedance versus frequency.
+
+Sweeps |Z(f)| of the Section 2 example supply around its resonance and
+reports the resonant peak and half-power band, reproducing the annotated
+impedance plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import PowerSupplyConfig, SECTION2_SUPPLY
+from repro.power.rlc import RLCAnalysis, impedance_sweep
+from repro.experiments.report import ascii_series, render_table
+
+__all__ = ["Figure1Result", "run"]
+
+
+@dataclass
+class Figure1Result:
+    """Impedance sweep and the band annotations of Figure 1(c)."""
+
+    frequencies_hz: np.ndarray
+    impedance_ohms: np.ndarray
+    resonant_frequency_hz: float
+    peak_impedance_ohms: float
+    band_low_hz: float
+    band_high_hz: float
+    quality_factor: float
+
+    def to_svg_charts(self) -> dict:
+        """SVG renderings keyed by chart name."""
+        from repro.experiments.svg import LineChart
+
+        chart = LineChart(
+            title="Figure 1(c): power-supply impedance",
+            x_label="frequency (MHz)",
+            y_label="|Z| (mOhm)",
+        )
+        chart.add_series(
+            "|Z(f)|",
+            [f / 1e6 for f in self.frequencies_hz],
+            [z * 1e3 for z in self.impedance_ohms],
+        )
+        chart.add_vertical_guide("band", self.band_low_hz / 1e6)
+        chart.add_vertical_guide("", self.band_high_hz / 1e6)
+        chart.add_vertical_guide("f0", self.resonant_frequency_hz / 1e6)
+        return {"impedance": chart.render()}
+
+    def render(self) -> str:
+        table = render_table(
+            "Figure 1(c): power-supply impedance",
+            ["quantity", "value"],
+            [
+                ["resonant frequency (MHz)", self.resonant_frequency_hz / 1e6],
+                ["peak impedance (mOhm)", self.peak_impedance_ohms * 1e3],
+                ["band low edge (MHz)", self.band_low_hz / 1e6],
+                ["band high edge (MHz)", self.band_high_hz / 1e6],
+                ["quality factor Q", self.quality_factor],
+            ],
+        )
+        plot = ascii_series(
+            self.impedance_ohms * 1e3,
+            label="|Z(f)| in mOhm, 40-160 MHz",
+        )
+        return f"{table}\n\n{plot}"
+
+
+def run(
+    config: PowerSupplyConfig = SECTION2_SUPPLY,
+    low_hz: float = 40e6,
+    high_hz: float = 160e6,
+    points: int = 481,
+) -> Figure1Result:
+    """Regenerate Figure 1(c) for the given supply (Section 2 example)."""
+    analysis = RLCAnalysis(config)
+    frequencies, impedance = impedance_sweep(config, low_hz, high_hz, points)
+    band = analysis.band
+    return Figure1Result(
+        frequencies_hz=frequencies,
+        impedance_ohms=impedance,
+        resonant_frequency_hz=analysis.resonant_frequency_hz,
+        peak_impedance_ohms=float(np.max(impedance)),
+        band_low_hz=band.low_hz,
+        band_high_hz=band.high_hz,
+        quality_factor=analysis.quality_factor,
+    )

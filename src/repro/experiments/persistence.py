@@ -1,0 +1,53 @@
+"""Persist experiment results to a directory (text tables + SVG charts).
+
+``save_result`` writes what a result object can produce: its rendered text
+table always, one SVG file per chart when the result exposes
+``to_svg_charts()``.  ``run_and_save_all`` regenerates every paper artifact
+at full scale into a directory -- the library-level equivalent of
+``tools/run_full_experiments.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["save_result", "run_and_save_all"]
+
+
+def save_result(result, directory: str, stem: str) -> List[str]:
+    """Write one result's artifacts; returns the paths written."""
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    text_path = os.path.join(directory, f"{stem}.txt")
+    with open(text_path, "w") as handle:
+        handle.write(result.render() + "\n")
+    written.append(text_path)
+    if hasattr(result, "to_svg_charts"):
+        for chart_name, svg in result.to_svg_charts().items():
+            svg_path = os.path.join(directory, f"{stem}_{chart_name}.svg")
+            with open(svg_path, "w") as handle:
+                handle.write(svg)
+            written.append(svg_path)
+    return written
+
+
+def run_and_save_all(
+    directory: str,
+    quick: bool = False,
+    names: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str, float], None]] = None,
+) -> Dict[str, List[str]]:
+    """Run the registered experiments and persist each one's artifacts."""
+    chosen = list(names) if names is not None else sorted(EXPERIMENTS)
+    written: Dict[str, List[str]] = {}
+    for name in chosen:
+        started = time.time()
+        result = run_experiment(name, quick=quick)
+        written[name] = save_result(result, directory, name)
+        if progress is not None:
+            progress(name, time.time() - started)
+    return written

@@ -1,0 +1,152 @@
+"""Registry and CLI for the paper's experiments.
+
+``python -m repro.experiments <id>`` runs one experiment and prints its
+rendered table/figure; ``--quick`` shrinks cycle counts and the benchmark
+set for a fast sanity pass.  Every table and figure in the paper's
+evaluation has an entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.experiments import (
+    ablations,
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+__all__ = ["EXPERIMENTS", "EXTENSIONS", "run_experiment", "main"]
+
+#: Small benchmark subset for --quick runs (violators + quiet apps).
+QUICK_BENCHMARKS = ("swim", "bzip", "parser", "mcf", "fma3d", "gzip")
+QUICK_CYCLES = 20_000
+
+
+def _run_figure1(quick: bool):
+    return figure1.run()
+
+
+def _run_table1(quick: bool):
+    return table1.run()
+
+
+def _run_figure3(quick: bool):
+    return figure3.run()
+
+
+def _run_figure4(quick: bool):
+    return figure4.run(max_cycles=40_000 if quick else 200_000)
+
+
+def _run_table2(quick: bool):
+    if quick:
+        return table2.run(n_cycles=QUICK_CYCLES, benchmarks=QUICK_BENCHMARKS)
+    return table2.run()
+
+
+def _run_table3(quick: bool):
+    if quick:
+        return table3.run(
+            initial_response_times=(75, 100),
+            n_cycles=QUICK_CYCLES,
+            benchmarks=QUICK_BENCHMARKS,
+        )
+    return table3.run()
+
+
+def _run_table4(quick: bool):
+    if quick:
+        return table4.run(
+            configs=(table4.VTConfig(30, 0, 0), table4.VTConfig(20, 15, 3)),
+            n_cycles=QUICK_CYCLES,
+            benchmarks=QUICK_BENCHMARKS,
+        )
+    return table4.run()
+
+
+def _run_table5(quick: bool):
+    if quick:
+        return table5.run(n_cycles=QUICK_CYCLES, benchmarks=QUICK_BENCHMARKS)
+    return table5.run()
+
+
+def _run_figure5(quick: bool):
+    if quick:
+        return figure5.run(n_cycles=QUICK_CYCLES, benchmarks=QUICK_BENCHMARKS)
+    return figure5.run()
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], object]] = {
+    "figure1": _run_figure1,
+    "table1": _run_table1,
+    "figure3": _run_figure3,
+    "figure4": _run_figure4,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "table4": _run_table4,
+    "table5": _run_table5,
+    "figure5": _run_figure5,
+}
+
+
+def _ablation(fn):
+    def run(quick: bool):
+        if quick:
+            return fn(n_cycles=8_000, benchmarks=("swim", "gzip"))
+        return fn()
+    return run
+
+
+#: Design-choice evidence beyond the paper's own tables ('all' excludes
+#: these; run them by name).
+EXTENSIONS: Dict[str, Callable[[bool], object]] = {
+    "ablation-two-tier": _ablation(ablations.run_two_tier),
+    "ablation-band-coverage": _ablation(ablations.run_band_coverage),
+    "ablation-sensing": _ablation(ablations.run_sensing),
+    "ablation-detectors": _ablation(ablations.run_detectors),
+}
+
+
+def run_experiment(name: str, quick: bool = False):
+    """Run one registered experiment or extension; returns its result."""
+    runner = EXPERIMENTS.get(name) or EXTENSIONS.get(name)
+    if runner is None:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from"
+            f" {sorted(EXPERIMENTS) + sorted(EXTENSIONS)}"
+        )
+    return runner(quick)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + sorted(EXTENSIONS) + ["all"],
+        help="experiment ids (or 'all' for the paper's artifacts)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced cycles and benchmark subset for a fast pass",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        result = run_experiment(name, quick=args.quick)
+        print(result.render())
+        print()
+    return 0

@@ -1,0 +1,260 @@
+"""Minimal SVG chart writer for the figure experiments.
+
+No plotting library is available offline, so this module hand-renders the
+two chart kinds the paper's figures need: line charts (voltage/current/
+event-count series, impedance curves) and horizontal bar charts (Figure 5).
+The output is deliberately plain: axes, ticks, one polyline per series, a
+small legend.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LineChart", "BarChart"]
+
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e")
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e6:
+        return f"{value / 1e6:.3g}M"
+    if abs(value) >= 1e3:
+        return f"{value / 1e3:.3g}k"
+    if abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def _ticks(low: float, high: float, count: int = 5) -> List[float]:
+    if high <= low:
+        high = low + 1.0
+    step = (high - low) / (count - 1)
+    return [low + step * i for i in range(count)]
+
+
+@dataclass
+class LineChart:
+    """A multi-series line chart with shared x values per series."""
+
+    title: str
+    x_label: str = ""
+    y_label: str = ""
+    width: int = 720
+    height: int = 320
+    series: List[Tuple[str, Sequence[float], Sequence[float]]] = field(
+        default_factory=list
+    )
+    #: optional horizontal guide lines (e.g. the +/- noise margin)
+    guides: List[Tuple[str, float]] = field(default_factory=list)
+    #: optional vertical guide lines (e.g. the resonance band edges)
+    vguides: List[Tuple[str, float]] = field(default_factory=list)
+
+    def add_series(
+        self, label: str, x: Sequence[float], y: Sequence[float]
+    ) -> "LineChart":
+        if len(x) != len(y):
+            raise ConfigurationError("series x and y must have equal length")
+        if len(x) == 0:
+            raise ConfigurationError("series must not be empty")
+        self.series.append((label, list(x), list(y)))
+        return self
+
+    def add_guide(self, label: str, y_value: float) -> "LineChart":
+        self.guides.append((label, y_value))
+        return self
+
+    def add_vertical_guide(self, label: str, x_value: float) -> "LineChart":
+        self.vguides.append((label, x_value))
+        return self
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        if not self.series:
+            raise ConfigurationError("chart has no series")
+        margin_left, margin_right = 64, 16
+        margin_top, margin_bottom = 36, 44
+        plot_w = self.width - margin_left - margin_right
+        plot_h = self.height - margin_top - margin_bottom
+
+        xs = [value for _, x, _ in self.series for value in x]
+        xs += [x for _, x in self.vguides]
+        ys = [value for _, _, y in self.series for value in y]
+        ys += [y for _, y in self.guides]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        pad = 0.05 * (y_hi - y_lo)
+        y_lo -= pad
+        y_hi += pad
+
+        def sx(value: float) -> float:
+            return margin_left + plot_w * (value - x_lo) / (x_hi - x_lo)
+
+        def sy(value: float) -> float:
+            return margin_top + plot_h * (1.0 - (value - y_lo) / (y_hi - y_lo))
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}"'
+            f' height="{self.height}" font-family="sans-serif" font-size="11">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="18" text-anchor="middle"'
+            f' font-size="14">{html.escape(self.title)}</text>',
+            f'<rect x="{margin_left}" y="{margin_top}" width="{plot_w}"'
+            f' height="{plot_h}" fill="none" stroke="#888"/>',
+        ]
+        for tick in _ticks(x_lo, x_hi):
+            x = sx(tick)
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{margin_top + plot_h}" x2="{x:.1f}"'
+                f' y2="{margin_top + plot_h + 4}" stroke="#444"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{margin_top + plot_h + 16}"'
+                f' text-anchor="middle">{_format_tick(tick)}</text>'
+            )
+        for tick in _ticks(y_lo, y_hi):
+            y = sy(tick)
+            parts.append(
+                f'<line x1="{margin_left - 4}" y1="{y:.1f}"'
+                f' x2="{margin_left}" y2="{y:.1f}" stroke="#444"/>'
+            )
+            parts.append(
+                f'<text x="{margin_left - 8}" y="{y + 4:.1f}"'
+                f' text-anchor="end">{_format_tick(tick)}</text>'
+            )
+        if self.x_label:
+            parts.append(
+                f'<text x="{margin_left + plot_w / 2}" y="{self.height - 8}"'
+                f' text-anchor="middle">{html.escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            cx, cy = 14, margin_top + plot_h / 2
+            parts.append(
+                f'<text x="{cx}" y="{cy}" text-anchor="middle"'
+                f' transform="rotate(-90 {cx} {cy})">'
+                f"{html.escape(self.y_label)}</text>"
+            )
+        for label, y_value in self.guides:
+            y = sy(y_value)
+            parts.append(
+                f'<line x1="{margin_left}" y1="{y:.1f}"'
+                f' x2="{margin_left + plot_w}" y2="{y:.1f}"'
+                f' stroke="#999" stroke-dasharray="5,4"/>'
+            )
+            parts.append(
+                f'<text x="{margin_left + plot_w - 4}" y="{y - 4:.1f}"'
+                f' text-anchor="end" fill="#777">{html.escape(label)}</text>'
+            )
+        for label, x_value in self.vguides:
+            x = sx(x_value)
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{margin_top}" x2="{x:.1f}"'
+                f' y2="{margin_top + plot_h}" stroke="#999"'
+                f' stroke-dasharray="5,4"/>'
+            )
+            parts.append(
+                f'<text x="{x + 3:.1f}" y="{margin_top + 12}"'
+                f' fill="#777">{html.escape(label)}</text>'
+            )
+        for index, (label, x, y) in enumerate(self.series):
+            color = _COLORS[index % len(_COLORS)]
+            points = " ".join(
+                f"{sx(xv):.1f},{sy(yv):.1f}" for xv, yv in zip(x, y)
+            )
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="{color}"'
+                f' stroke-width="1.4"/>'
+            )
+            legend_y = margin_top + 14 * index + 4
+            parts.append(
+                f'<line x1="{margin_left + 8}" y1="{legend_y}"'
+                f' x2="{margin_left + 28}" y2="{legend_y}" stroke="{color}"'
+                f' stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{margin_left + 33}" y="{legend_y + 4}">'
+                f"{html.escape(label)}</text>"
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.render())
+
+
+@dataclass
+class BarChart:
+    """A horizontal bar chart (Figure 5's energy-delay comparison)."""
+
+    title: str
+    x_label: str = ""
+    width: int = 720
+    bar_height: int = 26
+    baseline: float = 0.0
+    bars: List[Tuple[str, float]] = field(default_factory=list)
+
+    def add_bar(self, label: str, value: float) -> "BarChart":
+        self.bars.append((label, value))
+        return self
+
+    def render(self) -> str:
+        if not self.bars:
+            raise ConfigurationError("chart has no bars")
+        margin_left, margin_right = 260, 70
+        margin_top, margin_bottom = 36, 30
+        plot_w = self.width - margin_left - margin_right
+        height = margin_top + margin_bottom + self.bar_height * len(self.bars)
+        high = max(value for _, value in self.bars)
+        low = min(self.baseline, min(value for _, value in self.bars))
+        span = (high - low) or 1.0
+
+        def sx(value: float) -> float:
+            return margin_left + plot_w * (value - low) / span
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}"'
+            f' height="{height}" font-family="sans-serif" font-size="11">',
+            f'<rect width="{self.width}" height="{height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="18" text-anchor="middle"'
+            f' font-size="14">{html.escape(self.title)}</text>',
+        ]
+        for index, (label, value) in enumerate(self.bars):
+            y = margin_top + index * self.bar_height
+            color = _COLORS[index % len(_COLORS)]
+            x0 = sx(max(self.baseline, low))
+            x1 = sx(value)
+            parts.append(
+                f'<rect x="{min(x0, x1):.1f}" y="{y + 4}"'
+                f' width="{abs(x1 - x0):.1f}" height="{self.bar_height - 8}"'
+                f' fill="{color}" fill-opacity="0.8"/>'
+            )
+            parts.append(
+                f'<text x="{margin_left - 6}" y="{y + self.bar_height / 2 + 4}"'
+                f' text-anchor="end">{html.escape(label)}</text>'
+            )
+            parts.append(
+                f'<text x="{x1 + 5:.1f}" y="{y + self.bar_height / 2 + 4}">'
+                f"{value:.3f}</text>"
+            )
+        if self.x_label:
+            parts.append(
+                f'<text x="{margin_left + plot_w / 2}" y="{height - 8}"'
+                f' text-anchor="middle">{html.escape(self.x_label)}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.render())

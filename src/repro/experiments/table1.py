@@ -1,0 +1,94 @@
+"""Table 1: system parameters, including the derived resonance quantities.
+
+Echoes the configured architectural and power-distribution parameters and
+recomputes every derived row of Table 1 -- resonant frequency, resonance
+band in cycles, maximum repetition tolerance and resonant current variation
+threshold -- from this repository's own circuit simulation (Section 2.1.3's
+procedure), so the paper's values and ours can be compared line by line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (
+    PowerSupplyConfig,
+    ProcessorConfig,
+    TABLE1_PROCESSOR,
+    TABLE1_SUPPLY,
+)
+from repro.power.calibration import CalibrationResult, calibrate
+from repro.power.rlc import RLCAnalysis
+from repro.experiments.report import render_table
+
+__all__ = ["Table1Result", "run", "PAPER_VALUES"]
+
+#: What the paper's Table 1 states for the derived rows.
+PAPER_VALUES = {
+    "resonant_frequency_mhz": 100.0,
+    "band_min_period_cycles": 84,
+    "band_max_period_cycles": 119,
+    "max_repetition_tolerance": 4,
+    "resonant_current_threshold_amps": 32.0,
+}
+
+
+@dataclass
+class Table1Result:
+    supply: PowerSupplyConfig
+    processor: ProcessorConfig
+    calibration: CalibrationResult
+    quality_factor: float
+
+    def render(self) -> str:
+        supply = self.supply
+        processor = self.processor
+        cal = self.calibration
+        rows = [
+            ["issue width", processor.issue_width, "8", ""],
+            ["ROB / LSQ entries", processor.rob_entries, "128", ""],
+            ["Vdd (V)", supply.vdd_volts, "1.0", ""],
+            ["clock (GHz)", supply.clock_hz / 1e9, "10", ""],
+            ["max / min current (A)",
+             f"{processor.max_current_amps:.0f}/{processor.min_current_amps:.0f}",
+             "105/35", ""],
+            ["R (uOhm)", supply.resistance_ohms * 1e6, "375", ""],
+            ["L (pH)", supply.inductance_henries * 1e12, "1.69", ""],
+            ["C (nF)", supply.capacitance_farads * 1e9, "1500", ""],
+            ["resonant frequency (MHz)",
+             cal.resonant_frequency_hz / 1e6,
+             PAPER_VALUES["resonant_frequency_mhz"], "derived"],
+            ["quality factor Q", self.quality_factor, "(2.83 in Sec. 5.1.1)",
+             "derived"],
+            ["resonance band (cycles)",
+             f"{cal.band_min_period_cycles}-{cal.band_max_period_cycles}",
+             f"{PAPER_VALUES['band_min_period_cycles']}-"
+             f"{PAPER_VALUES['band_max_period_cycles']}", "derived"],
+            ["max repetition tolerance", cal.max_repetition_tolerance,
+             PAPER_VALUES["max_repetition_tolerance"], "calibrated"],
+            ["resonant current threshold (A)", cal.threshold_amps,
+             PAPER_VALUES["resonant_current_threshold_amps"], "calibrated"],
+            ["band-edge tolerable variation (A)",
+             cal.band_edge_tolerable_amps, "(procedure of Sec. 2.1.3)",
+             "calibrated"],
+            ["second-level quiet time (cycles)",
+             cal.second_level_response_cycles, "35 (Sec. 5.2)", "calibrated"],
+        ]
+        return render_table(
+            "Table 1: system parameters (ours vs. paper)",
+            ["parameter", "ours", "paper", "kind"],
+            rows,
+        )
+
+
+def run(
+    supply: PowerSupplyConfig = TABLE1_SUPPLY,
+    processor: ProcessorConfig = TABLE1_PROCESSOR,
+) -> Table1Result:
+    """Recompute Table 1's derived rows with our calibration procedure."""
+    return Table1Result(
+        supply=supply,
+        processor=processor,
+        calibration=calibrate(supply),
+        quality_factor=RLCAnalysis(supply).quality_factor,
+    )

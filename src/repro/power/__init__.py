@@ -1,0 +1,53 @@
+"""Power-distribution-network substrate: RLC analysis, simulation, calibration.
+
+Public surface:
+
+* :class:`~repro.power.rlc.RLCAnalysis` / :func:`~repro.power.rlc.impedance_sweep`
+  -- closed-form resonance characteristics and Figure 1(c) impedance curves.
+* :class:`~repro.power.supply.PowerSupply` -- cycle-level Heun simulation with
+  noise-margin tracking.
+* :mod:`~repro.power.waveforms` -- synthetic current stimuli.
+* :func:`~repro.power.calibration.calibrate` -- the Section 2.1.3 procedure
+  producing the resonant current variation threshold and maximum repetition
+  tolerance.
+"""
+
+from repro.power.calibration import (
+    CalibrationResult,
+    calibrate,
+    max_repetition_tolerance,
+    max_tolerable_variation,
+    quiet_cycles_for_event_decay,
+    resonant_current_variation_threshold,
+    sustained_wave_violates,
+)
+from repro.power.integrator import CircuitState, HeunIntegrator
+from repro.power.lowfreq import (
+    TwoStageSupply,
+    TwoStageSupplyConfig,
+    two_stage_impedance,
+)
+from repro.power.rlc import ResonanceBand, RLCAnalysis, impedance_sweep
+from repro.power.supply import PowerSupply, SupplyTrace
+from repro.power import waveforms
+
+__all__ = [
+    "CalibrationResult",
+    "calibrate",
+    "max_repetition_tolerance",
+    "max_tolerable_variation",
+    "quiet_cycles_for_event_decay",
+    "resonant_current_variation_threshold",
+    "sustained_wave_violates",
+    "CircuitState",
+    "HeunIntegrator",
+    "ResonanceBand",
+    "RLCAnalysis",
+    "impedance_sweep",
+    "PowerSupply",
+    "SupplyTrace",
+    "TwoStageSupply",
+    "TwoStageSupplyConfig",
+    "two_stage_impedance",
+    "waveforms",
+]

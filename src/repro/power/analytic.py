@@ -1,0 +1,121 @@
+"""Closed-form responses of the Figure 1(b) circuit.
+
+Exact analytic solutions used to cross-validate the Heun integrator and to
+reason about detector thresholds without simulation:
+
+* :func:`step_response` -- the IR-corrected voltage deviation after a
+  current step, solved exactly for the underdamped second-order system;
+* :func:`sine_steady_state_amplitude` -- steady-state amplitude of the
+  reported voltage under sinusoidal current excitation (phasor analysis);
+* :func:`sustained_square_violation_amplitude` -- the smallest sustained
+  square-wave amplitude whose fundamental alone reaches the noise margin,
+  an analytic approximation of the resonant current variation threshold;
+* :func:`ring_amplitude_after` -- free-decay amplitude scaling.
+
+Derivation sketch for the step: with the voltage source shorted, the
+reported deviation is ``v_C + R i`` and its Laplace transform for a current
+step of height ``dI`` is ``dI (R s + R^2/L - 1/C) / (s^2 + 2 a s + w0^2)``,
+whose inverse for an underdamped circuit is the damped sinusoid implemented
+below.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.config import PowerSupplyConfig
+from repro.errors import CircuitError
+from repro.power.rlc import RLCAnalysis
+
+__all__ = [
+    "step_response",
+    "step_response_peak",
+    "sine_steady_state_amplitude",
+    "sustained_square_violation_amplitude",
+    "ring_amplitude_after",
+]
+
+
+def step_response(
+    config: PowerSupplyConfig, delta_i_amps: float, t_seconds: np.ndarray
+) -> np.ndarray:
+    """Exact IR-corrected voltage deviation after a current step at t = 0."""
+    analysis = RLCAnalysis(config)
+    if not analysis.is_underdamped:
+        raise CircuitError("closed form implemented for underdamped circuits")
+    r = config.resistance_ohms
+    l = config.inductance_henries
+    c = config.capacitance_farads
+    alpha = analysis.damping_coefficient
+    omega_d = analysis.damped_angular_frequency
+    t = np.asarray(t_seconds, dtype=float)
+    a = r
+    b = r * r / l - 1.0 / c
+    envelope = np.exp(-alpha * t)
+    return delta_i_amps * envelope * (
+        a * np.cos(omega_d * t) + ((b - a * alpha) / omega_d) * np.sin(omega_d * t)
+    )
+
+
+def step_response_peak(config: PowerSupplyConfig, delta_i_amps: float) -> float:
+    """Magnitude of the largest excursion after a current step.
+
+    Evaluated on a dense grid over the first two damped periods (the peak
+    always falls in the first period; the margin of a second period is for
+    numerical comfort).
+    """
+    analysis = RLCAnalysis(config)
+    period = 2.0 * math.pi / analysis.damped_angular_frequency
+    t = np.linspace(0.0, 2.0 * period, 4096)
+    return float(np.max(np.abs(step_response(config, delta_i_amps, t))))
+
+
+def sine_steady_state_amplitude(
+    config: PowerSupplyConfig, frequency_hz: float, amplitude_pp_amps: float
+) -> float:
+    """Steady-state amplitude (volts, zero-to-peak) of the reported voltage.
+
+    The reported deviation is ``v_C + R i_cpu``; in phasor terms its transfer
+    from the CPU current is ``R - Z(jw)``, where Z is the driving-point
+    impedance.  At DC this is zero (a constant current reports no noise), at
+    resonance it is nearly the full peak impedance.
+    """
+    if frequency_hz <= 0:
+        raise CircuitError("frequency must be positive")
+    r = config.resistance_ohms
+    l = config.inductance_henries
+    c = config.capacitance_farads
+    omega = 2.0 * math.pi * frequency_hz
+    z_rl = r + 1j * omega * l
+    z_c = 1.0 / (1j * omega * c)
+    z = z_rl * z_c / (z_rl + z_c)
+    i_amplitude = 0.5 * amplitude_pp_amps
+    return float(abs(r - z) * i_amplitude)
+
+
+def sustained_square_violation_amplitude(config: PowerSupplyConfig) -> float:
+    """Analytic estimate of the resonant current variation threshold.
+
+    A sustained square wave of peak-to-peak amplitude X at the resonant
+    frequency has a fundamental of amplitude ``(2/pi) X``; the threshold is
+    the X whose fundamental's steady-state response just reaches the noise
+    margin.  Higher harmonics fall outside the band and add little, so this
+    slightly *underestimates* the simulated threshold.
+    """
+    analysis = RLCAnalysis(config)
+    f0 = analysis.resonant_frequency_hz
+    # Response volts per amp of square-wave peak-to-peak amplitude: the
+    # fundamental of a p-p X square wave is a p-p (4/pi) X sine.
+    response_per_pp_amp = sine_steady_state_amplitude(config, f0, 4.0 / math.pi)
+    return config.noise_margin_volts / response_per_pp_amp
+
+
+def ring_amplitude_after(
+    config: PowerSupplyConfig, initial_amplitude: float, cycles: int
+) -> float:
+    """Free-decay ring amplitude after ``cycles`` quiet processor cycles."""
+    analysis = RLCAnalysis(config)
+    seconds = cycles * config.cycle_seconds
+    return initial_amplitude * math.exp(-analysis.damping_coefficient * seconds)

@@ -1,0 +1,181 @@
+"""Two-stage power-distribution model with low-frequency resonance (Sec. 2.2).
+
+Besides the medium-frequency peak (die-to-package inductance against on-die
+decoupling capacitance), real packages show a *low-frequency* impedance peak
+from the much larger off-chip inductance resonating against the on-chip /
+package bulk capacitance -- typically at a few megahertz.  This module adds
+that second stage:
+
+    supply --- R1 - L1 ---+--- R2 - L2 ---+---> CPU current source
+                          |               |
+                          C1             C2
+                          |               |
+                         gnd             gnd
+
+Stage 1 (R1, L1, C1) is the off-chip loop; stage 2 (R2, L2, C2) is the
+Figure 1(b) circuit of the main model.  The state equations are integrated
+with the same Heun formula, and the IR drop through both resistances is
+subtracted as in Section 4.1.  Resonance tuning applies unchanged: the
+detector simply needs the low-frequency band's (much longer) half-periods,
+where its timing slack is even more generous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.config import PowerSupplyConfig
+from repro.errors import ConfigurationError
+
+__all__ = ["TwoStageSupplyConfig", "TwoStageSupply", "two_stage_impedance"]
+
+
+@dataclass(frozen=True)
+class TwoStageSupplyConfig:
+    """Off-chip stage parameters plus the on-die stage (a PowerSupplyConfig)."""
+
+    die_stage: PowerSupplyConfig = PowerSupplyConfig()
+    #: defaults give a low-frequency peak near 1.1 MHz of about 1 mOhm --
+    #: "fairly small" relative to the medium-frequency peak, as Section 2.2
+    #: describes for current technology
+    offchip_resistance_ohms: float = 0.47e-3
+    offchip_inductance_henries: float = 0.1e-9
+    bulk_capacitance_farads: float = 200e-6
+
+    def __post_init__(self) -> None:
+        if self.offchip_resistance_ohms <= 0:
+            raise ConfigurationError("offchip_resistance_ohms must be positive")
+        if self.offchip_inductance_henries <= 0:
+            raise ConfigurationError("offchip_inductance_henries must be positive")
+        if self.bulk_capacitance_farads <= 0:
+            raise ConfigurationError("bulk_capacitance_farads must be positive")
+
+    @property
+    def low_frequency_hz(self) -> float:
+        """Approximate low-frequency resonance: off-chip L against bulk C."""
+        return 1.0 / (
+            2.0
+            * np.pi
+            * np.sqrt(self.offchip_inductance_henries * self.bulk_capacitance_farads)
+        )
+
+    @property
+    def low_frequency_period_cycles(self) -> int:
+        return round(self.die_stage.clock_hz / self.low_frequency_hz)
+
+    def low_frequency_band_half_periods(self, width_fraction: float = 0.15):
+        """A band of half-periods around the low-frequency resonance.
+
+        The analytic half-power band of the coupled circuit is messy; a
+        +/-``width_fraction`` window around the peak is what a designer
+        would configure, subsampled so the detector needs a practical
+        number of adders.
+        """
+        period = self.low_frequency_period_cycles
+        half = period // 2
+        low = round(half * (1.0 - width_fraction))
+        high = round(half * (1.0 + width_fraction))
+        stride = max(1, (high - low) // 12)
+        return range(low, high + 1, stride)
+
+
+class TwoStageSupply:
+    """Cycle-level simulation of the two-stage network."""
+
+    def __init__(
+        self,
+        config: TwoStageSupplyConfig,
+        initial_current: float = 0.0,
+        record: bool = False,
+    ):
+        self.config = config
+        die = config.die_stage
+        self._r1 = config.offchip_resistance_ohms
+        self._l1 = config.offchip_inductance_henries
+        self._c1 = config.bulk_capacitance_farads
+        self._r2 = die.resistance_ohms
+        self._l2 = die.inductance_henries
+        self._c2 = die.capacitance_farads
+        self._dt = die.cycle_seconds
+        self._margin = die.noise_margin_volts
+        self._record = record
+        self.currents: List[float] = []
+        self.voltages: List[float] = []
+        self.cycle = 0
+        self.violation_cycles = 0
+        self.first_violation_cycle = None
+        self.reset(initial_current)
+
+    def reset(self, current: float = 0.0) -> None:
+        """Steady state for a constant current (both inductors carrying it)."""
+        self._v1 = -self._r1 * current
+        self._v2 = -(self._r1 + self._r2) * current
+        self._i1 = current
+        self._i2 = current
+        self.cycle = 0
+        self.violation_cycles = 0
+        self.first_violation_cycle = None
+        self.currents = []
+        self.voltages = []
+
+    def _derivatives(self, v1, v2, i1, i2, cpu):
+        dv1 = (i1 - i2) / self._c1
+        dv2 = (i2 - cpu) / self._c2
+        di1 = (-v1 - self._r1 * i1) / self._l1
+        di2 = (v1 - v2 - self._r2 * i2) / self._l2
+        return dv1, dv2, di1, di2
+
+    def step(self, cpu_current: float) -> float:
+        """Advance one cycle; return the die-node deviation, IR-corrected."""
+        dt = self._dt
+        v1, v2, i1, i2 = self._v1, self._v2, self._i1, self._i2
+        d1 = self._derivatives(v1, v2, i1, i2, cpu_current)
+        predicted = (
+            v1 + dt * d1[0],
+            v2 + dt * d1[1],
+            i1 + dt * d1[2],
+            i2 + dt * d1[3],
+        )
+        d2 = self._derivatives(*predicted, cpu_current)
+        self._v1 = v1 + 0.5 * dt * (d1[0] + d2[0])
+        self._v2 = v2 + 0.5 * dt * (d1[1] + d2[1])
+        self._i1 = i1 + 0.5 * dt * (d1[2] + d2[2])
+        self._i2 = i2 + 0.5 * dt * (d1[3] + d2[3])
+        voltage = self._v2 + (self._r1 + self._r2) * cpu_current
+        if abs(voltage) > self._margin:
+            self.violation_cycles += 1
+            if self.first_violation_cycle is None:
+                self.first_violation_cycle = self.cycle
+        if self._record:
+            self.currents.append(cpu_current)
+            self.voltages.append(voltage)
+        self.cycle += 1
+        return voltage
+
+    def run(self, currents) -> np.ndarray:
+        return np.asarray([self.step(c) for c in currents])
+
+    @property
+    def violation_fraction(self) -> float:
+        return self.violation_cycles / self.cycle if self.cycle else 0.0
+
+
+def two_stage_impedance(
+    config: TwoStageSupplyConfig, frequencies_hz: np.ndarray
+) -> np.ndarray:
+    """|Z(f)| seen by the CPU current source (two peaks: Figure-1(c)-like
+    medium-frequency peak plus the Section 2.2 low-frequency peak)."""
+    omega = 2.0 * np.pi * np.asarray(frequencies_hz, dtype=float)
+    s = 1j * omega
+    z_l1 = config.offchip_resistance_ohms + s * config.offchip_inductance_henries
+    z_c1 = 1.0 / (s * config.bulk_capacitance_farads)
+    die = config.die_stage
+    z_l2 = die.resistance_ohms + s * die.inductance_henries
+    z_c2 = 1.0 / (s * die.capacitance_farads)
+    z_a = z_l1 * z_c1 / (z_l1 + z_c1)
+    z_upstream = z_a + z_l2
+    z_b = z_upstream * z_c2 / (z_upstream + z_c2)
+    return np.abs(z_b)

@@ -1,0 +1,242 @@
+"""Second-order RLC analysis of the power-distribution network (Section 2.1).
+
+The network of Figure 1(b) is the series combination of the supply impedance
+R and the die-to-package inductance L, shunted at the die node by the on-die
+decoupling capacitance C; the CPU is a current source at the die node.  This
+module provides the closed-form resonance characteristics the paper derives:
+
+* resonant frequency ``f0 = 1 / (2 pi sqrt(LC))`` (Section 2.1.1),
+* underdamped check ``R^2 < 4 L / C`` (Section 2.1.1),
+* quality factor ``Q = 2 pi f0 L / R`` and the resonance band (Section 2.1.2),
+* damping rate ``f0 pi / Q`` nepers/second and the per-period dissipation
+  (Section 2.1.3),
+* driving-point impedance Z(f) seen by the CPU current source (Figure 1(c)).
+
+The resonance band uses the exact half-power expressions from DeCarlo & Lin
+(the paper's reference [4]) rather than the ``f0 +/- B/2`` approximation:
+``f_lo,hi = f0 (sqrt(1 + 1/(4 Q^2)) -/+ 1/(2 Q))``.  For the Table 1 supply
+this yields 83.9-119 MHz, i.e. periods of 84-119 processor cycles at 10 GHz,
+exactly as the paper states.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.config import PowerSupplyConfig
+from repro.errors import CircuitError
+
+__all__ = ["ResonanceBand", "RLCAnalysis", "impedance_sweep"]
+
+
+@dataclass(frozen=True)
+class ResonanceBand:
+    """Half-power resonance band in hertz and in whole processor cycles.
+
+    ``min_period_cycles`` corresponds to the *upper* band-edge frequency and
+    ``max_period_cycles`` to the lower one.  Frequencies inside the band see
+    more than half the resonant-peak energy; current variations there can
+    build into noise-margin violations.
+    """
+
+    low_hz: float
+    high_hz: float
+    min_period_cycles: int
+    max_period_cycles: int
+
+    def contains_hz(self, frequency_hz: float) -> bool:
+        """Return True if ``frequency_hz`` lies inside the band."""
+        return self.low_hz <= frequency_hz <= self.high_hz
+
+    def contains_period(self, period_cycles: int) -> bool:
+        """Return True if a period of ``period_cycles`` cycles is resonant."""
+        return self.min_period_cycles <= period_cycles <= self.max_period_cycles
+
+    @property
+    def half_periods(self) -> range:
+        """All half-periods (in cycles) the detector must cover (Section 3.1.3)."""
+        return range(self.min_period_cycles // 2, self.max_period_cycles // 2 + 1)
+
+
+class RLCAnalysis:
+    """Closed-form resonance characteristics of a :class:`PowerSupplyConfig`.
+
+    Raises :class:`CircuitError` for analyses that require an underdamped
+    circuit when the circuit is critically damped or overdamped.
+    """
+
+    def __init__(self, config: PowerSupplyConfig):
+        self.config = config
+        self._r = config.resistance_ohms
+        self._l = config.inductance_henries
+        self._c = config.capacitance_farads
+
+    # ------------------------------------------------------------------
+    # Section 2.1.1 -- resonant frequency and damping classification
+    # ------------------------------------------------------------------
+    @property
+    def natural_angular_frequency(self) -> float:
+        """Undamped natural angular frequency ``omega0 = 1/sqrt(LC)``."""
+        return 1.0 / math.sqrt(self._l * self._c)
+
+    @property
+    def resonant_frequency_hz(self) -> float:
+        """Resonant frequency ``f0 = 1 / (2 pi sqrt(LC))``."""
+        return self.natural_angular_frequency / (2.0 * math.pi)
+
+    @property
+    def resonant_period_cycles(self) -> int:
+        """Resonant period expressed in whole processor cycles."""
+        return round(self.config.clock_hz / self.resonant_frequency_hz)
+
+    @property
+    def is_underdamped(self) -> bool:
+        """True when ``R^2 < 4 L / C`` so the circuit oscillates."""
+        return self._r * self._r < 4.0 * self._l / self._c
+
+    @property
+    def damping_coefficient(self) -> float:
+        """Exponential damping coefficient ``alpha = R / (2 L)`` (nepers/s).
+
+        Equal to the paper's damping rate ``f0 pi / Q``.
+        """
+        return self._r / (2.0 * self._l)
+
+    @property
+    def damped_angular_frequency(self) -> float:
+        """Ringing angular frequency ``sqrt(omega0^2 - alpha^2)``."""
+        if not self.is_underdamped:
+            raise CircuitError(
+                "damped frequency is undefined: circuit is not underdamped"
+            )
+        omega0 = self.natural_angular_frequency
+        alpha = self.damping_coefficient
+        return math.sqrt(omega0 * omega0 - alpha * alpha)
+
+    # ------------------------------------------------------------------
+    # Section 2.1.2 -- quality factor and resonance band
+    # ------------------------------------------------------------------
+    @property
+    def quality_factor(self) -> float:
+        """``Q = 2 pi f0 L / R`` (equivalently ``sqrt(L/C)/R``)."""
+        return 2.0 * math.pi * self.resonant_frequency_hz * self._l / self._r
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Half-power bandwidth ``B = f0 / Q``."""
+        return self.resonant_frequency_hz / self.quality_factor
+
+    @property
+    def band(self) -> ResonanceBand:
+        """Exact half-power resonance band (DeCarlo & Lin, ref [4])."""
+        if not self.is_underdamped:
+            raise CircuitError("resonance band is undefined for a damped circuit")
+        f0 = self.resonant_frequency_hz
+        q = self.quality_factor
+        centre = math.sqrt(1.0 + 1.0 / (4.0 * q * q))
+        half = 1.0 / (2.0 * q)
+        low_hz = f0 * (centre - half)
+        high_hz = f0 * (centre + half)
+        clock = self.config.clock_hz
+        return ResonanceBand(
+            low_hz=low_hz,
+            high_hz=high_hz,
+            min_period_cycles=round(clock / high_hz),
+            max_period_cycles=round(clock / low_hz),
+        )
+
+    # ------------------------------------------------------------------
+    # Section 2.1.3 -- dissipation
+    # ------------------------------------------------------------------
+    @property
+    def amplitude_decay_per_period(self) -> float:
+        """Fraction of ringing *amplitude* remaining after one resonant period.
+
+        ``exp(-alpha T0)``: 0.33 for the Table 1 supply (the paper's "66 %
+        dissipation per period") and about 0.61 for the Section 2 example
+        ("40 % dissipation").
+        """
+        period = 1.0 / self.resonant_frequency_hz
+        return math.exp(-self.damping_coefficient * period)
+
+    @property
+    def dissipation_per_period(self) -> float:
+        """Fraction of ringing amplitude lost per resonant period."""
+        return 1.0 - self.amplitude_decay_per_period
+
+    def decay_cycles(self, fraction: float) -> int:
+        """Processor cycles of quiet needed for ringing to decay to ``fraction``.
+
+        Used to size the second-level response time: Section 5.2 requires
+        enough quiet cycles for variations to dissipate the equivalent of one
+        resonant event.
+        """
+        if not 0 < fraction < 1:
+            raise CircuitError("decay fraction must be in (0, 1)")
+        seconds = -math.log(fraction) / self.damping_coefficient
+        return math.ceil(seconds * self.config.clock_hz)
+
+    # ------------------------------------------------------------------
+    # Figure 1(c) -- impedance seen by the CPU current source
+    # ------------------------------------------------------------------
+    def impedance_ohms(
+        self, frequency_hz: Union[float, Sequence[float], np.ndarray]
+    ) -> Union[float, np.ndarray]:
+        """|Z(f)| of the series RL branch in parallel with the die capacitor.
+
+        This is the transfer impedance from CPU current variation to die
+        voltage variation; it peaks near the resonant frequency
+        (approximately ``L / (R C)`` at the peak for high Q).
+        """
+        frequency = np.asarray(frequency_hz, dtype=float)
+        omega = 2.0 * np.pi * frequency
+        z_rl = self._r + 1j * omega * self._l
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z_c = np.where(omega > 0, 1.0 / (1j * omega * self._c + 1e-300), np.inf)
+            z = z_rl * z_c / (z_rl + z_c)
+            magnitude = np.abs(np.where(omega > 0, z, z_rl))
+        if np.isscalar(frequency_hz) or getattr(frequency_hz, "ndim", 1) == 0:
+            return float(magnitude)
+        return magnitude
+
+    @property
+    def peak_impedance_ohms(self) -> float:
+        """Approximate impedance at the resonant peak, ``L / (R C)``."""
+        return self._l / (self._r * self._c)
+
+    def summary(self) -> dict:
+        """Return the headline characteristics as a plain dictionary."""
+        band = self.band
+        return {
+            "resonant_frequency_hz": self.resonant_frequency_hz,
+            "resonant_period_cycles": self.resonant_period_cycles,
+            "quality_factor": self.quality_factor,
+            "band_low_hz": band.low_hz,
+            "band_high_hz": band.high_hz,
+            "band_min_period_cycles": band.min_period_cycles,
+            "band_max_period_cycles": band.max_period_cycles,
+            "damping_rate_nepers_per_s": self.damping_coefficient,
+            "dissipation_per_period": self.dissipation_per_period,
+            "is_underdamped": self.is_underdamped,
+        }
+
+
+def impedance_sweep(
+    config: PowerSupplyConfig,
+    low_hz: float,
+    high_hz: float,
+    points: int = 200,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Sweep |Z(f)| over ``[low_hz, high_hz]`` (regenerates Figure 1(c)).
+
+    Returns ``(frequencies_hz, impedance_ohms)`` arrays.
+    """
+    if not 0 < low_hz < high_hz:
+        raise CircuitError("impedance sweep requires 0 < low_hz < high_hz")
+    analysis = RLCAnalysis(config)
+    frequencies = np.linspace(low_hz, high_hz, points)
+    return frequencies, np.asarray(analysis.impedance_ohms(frequencies))

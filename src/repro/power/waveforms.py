@@ -1,0 +1,157 @@
+"""Synthetic current stimuli for exercising the power supply.
+
+These generators produce per-cycle CPU-current arrays used by the
+calibration routines (Section 2.1.3), the Figure 3 stimulation experiment
+(a 34 A square wave at the resonant frequency between cycles 100 and 500)
+and the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "constant",
+    "square_wave",
+    "sine_wave",
+    "triangle_wave",
+    "step",
+    "burst",
+    "chirp",
+]
+
+
+def _validate(n_cycles: int, period_cycles: float = 2.0) -> None:
+    if n_cycles <= 0:
+        raise ConfigurationError("n_cycles must be positive")
+    if period_cycles < 2:
+        raise ConfigurationError("period_cycles must be at least 2")
+
+
+def constant(n_cycles: int, level: float) -> np.ndarray:
+    """A flat current of ``level`` amps."""
+    _validate(n_cycles)
+    return np.full(n_cycles, float(level))
+
+
+def square_wave(
+    n_cycles: int,
+    period_cycles: float,
+    amplitude_pp: float,
+    mean: float = 0.0,
+    start: int = 0,
+    end: "int | None" = None,
+    phase_cycles: float = 0.0,
+) -> np.ndarray:
+    """Square wave of ``amplitude_pp`` amps peak-to-peak around ``mean``.
+
+    Outside ``[start, end)`` the waveform sits at ``mean`` (this reproduces
+    the Figure 3 stimulus, which begins at cycle 100 and ends at cycle 500).
+    """
+    _validate(n_cycles, period_cycles)
+    cycles = np.arange(n_cycles, dtype=float)
+    phase = ((cycles - start + phase_cycles) % period_cycles) / period_cycles
+    wave = np.where(phase < 0.5, 0.5, -0.5) * amplitude_pp + mean
+    return _apply_window(wave, mean, start, end)
+
+
+def sine_wave(
+    n_cycles: int,
+    period_cycles: float,
+    amplitude_pp: float,
+    mean: float = 0.0,
+    start: int = 0,
+    end: "int | None" = None,
+) -> np.ndarray:
+    """Sine wave of ``amplitude_pp`` amps peak-to-peak around ``mean``."""
+    _validate(n_cycles, period_cycles)
+    cycles = np.arange(n_cycles, dtype=float)
+    wave = mean + 0.5 * amplitude_pp * np.sin(
+        2.0 * math.pi * (cycles - start) / period_cycles
+    )
+    return _apply_window(wave, mean, start, end)
+
+
+def triangle_wave(
+    n_cycles: int,
+    period_cycles: float,
+    amplitude_pp: float,
+    mean: float = 0.0,
+    start: int = 0,
+    end: "int | None" = None,
+) -> np.ndarray:
+    """Triangle wave of ``amplitude_pp`` amps peak-to-peak around ``mean``."""
+    _validate(n_cycles, period_cycles)
+    cycles = np.arange(n_cycles, dtype=float)
+    phase = ((cycles - start) % period_cycles) / period_cycles
+    tri = 4.0 * np.abs(phase - 0.5) - 1.0  # in [-1, 1], peak at phase 0
+    wave = mean + 0.5 * amplitude_pp * tri
+    return _apply_window(wave, mean, start, end)
+
+
+def step(n_cycles: int, before: float, after: float, at_cycle: int) -> np.ndarray:
+    """A single current step from ``before`` to ``after`` at ``at_cycle``."""
+    _validate(n_cycles)
+    if not 0 <= at_cycle <= n_cycles:
+        raise ConfigurationError("at_cycle must lie within the waveform")
+    wave = np.full(n_cycles, float(before))
+    wave[at_cycle:] = after
+    return wave
+
+
+def burst(
+    n_cycles: int,
+    period_cycles: float,
+    amplitude_pp: float,
+    mean: float,
+    start: int,
+    half_waves: int,
+) -> np.ndarray:
+    """Exactly ``half_waves`` half-periods of square-wave excitation.
+
+    Used to measure how many repetitions the supply tolerates before a
+    noise-margin violation (the maximum repetition tolerance, counted in
+    half waves per Section 2.1.3).
+    """
+    _validate(n_cycles, period_cycles)
+    if half_waves < 1:
+        raise ConfigurationError("half_waves must be at least 1")
+    end = start + round(half_waves * period_cycles / 2.0)
+    return square_wave(n_cycles, period_cycles, amplitude_pp, mean, start, end)
+
+
+def chirp(
+    n_cycles: int,
+    start_period_cycles: float,
+    end_period_cycles: float,
+    amplitude_pp: float,
+    mean: float = 0.0,
+) -> np.ndarray:
+    """Sine sweep whose period moves linearly between the two endpoints.
+
+    Useful for probing the resonance band: the supply response peaks while
+    the instantaneous period crosses the band.
+    """
+    _validate(n_cycles, min(start_period_cycles, end_period_cycles))
+    cycles = np.arange(n_cycles, dtype=float)
+    periods = np.linspace(start_period_cycles, end_period_cycles, n_cycles)
+    phase = np.cumsum(2.0 * math.pi / periods)
+    return mean + 0.5 * amplitude_pp * np.sin(phase)
+
+
+def _apply_window(
+    wave: np.ndarray, mean: float, start: int, end: "int | None"
+) -> np.ndarray:
+    if start < 0:
+        raise ConfigurationError("start must be non-negative")
+    if end is not None and end < start:
+        raise ConfigurationError("end must not precede start")
+    wave = wave.copy()
+    wave[:start] = mean
+    if end is not None:
+        wave[end:] = mean
+    return wave

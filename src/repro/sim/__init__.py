@@ -1,0 +1,22 @@
+"""Simulation harness: the cycle loop, metrics and batch sweeps."""
+
+from repro.sim.metrics import RelativeMetrics, SimulationResult
+from repro.sim.runner import (
+    BenchmarkRunner,
+    SeedStatistics,
+    SweepConfig,
+    TechniqueSummary,
+    summarize,
+)
+from repro.sim.simulation import Simulation
+
+__all__ = [
+    "RelativeMetrics",
+    "SimulationResult",
+    "BenchmarkRunner",
+    "SeedStatistics",
+    "SweepConfig",
+    "TechniqueSummary",
+    "summarize",
+    "Simulation",
+]

@@ -1,0 +1,105 @@
+"""Export simulation results to CSV and JSON.
+
+Used by downstream analysis (spreadsheets, plotting outside this repo) and
+by the experiment scripts when asked to persist machine-readable results
+next to the rendered text tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict
+from typing import Iterable, Sequence, Union
+
+from repro.sim.metrics import RelativeMetrics, SimulationResult
+from repro.sim.runner import TechniqueSummary
+
+__all__ = [
+    "results_to_csv",
+    "metrics_to_csv",
+    "summary_to_dict",
+    "to_json",
+    "write_csv",
+]
+
+_RESULT_FIELDS = (
+    "benchmark",
+    "technique",
+    "cycles",
+    "instructions",
+    "ipc",
+    "energy_joules",
+    "phantom_energy_joules",
+    "violation_cycles",
+    "violation_fraction",
+    "first_level_fraction",
+    "second_level_fraction",
+)
+
+_METRIC_FIELDS = (
+    "benchmark",
+    "technique",
+    "slowdown",
+    "energy",
+    "energy_delay",
+    "violation_fraction",
+    "base_violation_fraction",
+    "first_level_fraction",
+    "second_level_fraction",
+)
+
+
+def results_to_csv(results: Iterable[SimulationResult]) -> str:
+    """Render simulation results as CSV text (one row per run)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_RESULT_FIELDS)
+    for result in results:
+        writer.writerow([getattr(result, field) for field in _RESULT_FIELDS])
+    return buffer.getvalue()
+
+
+def metrics_to_csv(metrics: Iterable[RelativeMetrics]) -> str:
+    """Render relative metrics as CSV text (one row per benchmark)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_METRIC_FIELDS)
+    for row in metrics:
+        writer.writerow([getattr(row, field) for field in _METRIC_FIELDS])
+    return buffer.getvalue()
+
+
+def summary_to_dict(summary: TechniqueSummary) -> dict:
+    """Convert a technique summary (and its per-benchmark rows) to plain data."""
+    data = {
+        "technique": summary.technique,
+        "avg_slowdown": summary.avg_slowdown,
+        "worst_slowdown": summary.worst_slowdown,
+        "worst_benchmark": summary.worst_benchmark,
+        "apps_over_15_percent": summary.apps_over_15_percent,
+        "avg_energy_delay": summary.avg_energy_delay,
+        "avg_first_level_fraction": summary.avg_first_level_fraction,
+        "avg_second_level_fraction": summary.avg_second_level_fraction,
+        "total_violation_cycles": summary.total_violation_cycles,
+        "per_benchmark": [asdict(row) for row in summary.per_benchmark],
+    }
+    return data
+
+
+def to_json(
+    payload: Union[TechniqueSummary, Sequence[RelativeMetrics]], indent: int = 2
+) -> str:
+    """Serialize a summary or a metrics list to JSON text."""
+    if isinstance(payload, TechniqueSummary):
+        data = summary_to_dict(payload)
+    else:
+        data = [asdict(row) for row in payload]
+    return json.dumps(data, indent=indent)
+
+
+def write_csv(path: str, results: Iterable[SimulationResult]) -> None:
+    """Write simulation results to a CSV file."""
+    with open(path, "w", newline="") as handle:
+        handle.write(results_to_csv(results))

@@ -1,0 +1,94 @@
+"""Result records and the relative metrics the paper's tables report.
+
+The paper evaluates techniques by *relative slowdown* (execution-time ratio
+at equal work) and *relative energy-delay* against the uncontrolled base
+processor.  With fixed-cycle runs, time per instruction is ``1 / IPC``, so:
+
+* ``relative_slowdown = IPC_base / IPC_technique``
+* ``relative_energy  = energy-per-instruction ratio``
+* ``relative_energy_delay = relative_energy * relative_slowdown``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["SimulationResult", "RelativeMetrics"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced."""
+
+    benchmark: str
+    technique: str
+    cycles: int
+    instructions: int
+    energy_joules: float
+    phantom_energy_joules: float
+    violation_cycles: int
+    violation_events: int
+    first_level_cycles: int = 0
+    second_level_cycles: int = 0
+    currents: Optional[List[float]] = field(default=None, repr=False)
+    voltages: Optional[List[float]] = field(default=None, repr=False)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def violation_fraction(self) -> float:
+        return self.violation_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def energy_per_instruction(self) -> float:
+        if self.instructions == 0:
+            raise SimulationError("no instructions committed; cannot normalize")
+        return self.energy_joules / self.instructions
+
+    @property
+    def first_level_fraction(self) -> float:
+        return self.first_level_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def second_level_fraction(self) -> float:
+        return self.second_level_cycles / self.cycles if self.cycles else 0.0
+
+    def relative_to(self, base: "SimulationResult") -> "RelativeMetrics":
+        """Relative slowdown / energy / energy-delay against a base run."""
+        if base.benchmark != self.benchmark:
+            raise SimulationError(
+                f"comparing {self.benchmark} against base {base.benchmark}"
+            )
+        slowdown = base.ipc / self.ipc if self.ipc else float("inf")
+        energy = self.energy_per_instruction / base.energy_per_instruction
+        return RelativeMetrics(
+            benchmark=self.benchmark,
+            technique=self.technique,
+            slowdown=slowdown,
+            energy=energy,
+            energy_delay=slowdown * energy,
+            violation_fraction=self.violation_fraction,
+            base_violation_fraction=base.violation_fraction,
+            first_level_fraction=self.first_level_fraction,
+            second_level_fraction=self.second_level_fraction,
+        )
+
+
+@dataclass(frozen=True)
+class RelativeMetrics:
+    """One technique's cost on one benchmark, relative to the base run."""
+
+    benchmark: str
+    technique: str
+    slowdown: float
+    energy: float
+    energy_delay: float
+    violation_fraction: float
+    base_violation_fraction: float
+    first_level_fraction: float = 0.0
+    second_level_fraction: float = 0.0

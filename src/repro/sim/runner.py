@@ -1,0 +1,239 @@
+"""Batch running: benchmark x technique sweeps with Table 3/4/5 aggregation.
+
+A *controller factory* is any callable ``(supply_config, processor_config)
+-> NoiseController``; the runner builds a fresh processor and supply per
+run (so runs are independent and deterministic), executes the base
+configuration once per benchmark, and reports each technique's metrics
+relative to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import (
+    PowerSupplyConfig,
+    ProcessorConfig,
+    TABLE1_PROCESSOR,
+    TABLE1_SUPPLY,
+)
+from repro.core.controller import NoiseController, NullController
+from repro.power.supply import PowerSupply
+from repro.sim.metrics import RelativeMetrics, SimulationResult
+from repro.sim.simulation import Simulation
+from repro.uarch.processor import Processor
+from repro.uarch.workloads import SPEC2K
+
+__all__ = [
+    "SweepConfig",
+    "TechniqueSummary",
+    "SeedStatistics",
+    "BenchmarkRunner",
+    "summarize",
+]
+
+ControllerFactory = Callable[[PowerSupplyConfig, ProcessorConfig], NoiseController]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """How long and on what hardware to run each benchmark."""
+
+    n_cycles: int = 60_000
+    warmup_cycles: int = 2_000
+    supply: PowerSupplyConfig = TABLE1_SUPPLY
+    processor: ProcessorConfig = TABLE1_PROCESSOR
+    trace_instructions: Optional[int] = None
+
+    def instructions(self) -> int:
+        if self.trace_instructions is not None:
+            return self.trace_instructions
+        # Enough instructions that no workload wraps more than a few times.
+        return max(50_000, int((self.n_cycles + self.warmup_cycles) * 4.5))
+
+
+@dataclass(frozen=True)
+class SeedStatistics:
+    """Mean / spread of one technique on one benchmark across trace seeds.
+
+    Seeds regenerate the synthetic trace from the same statistical profile,
+    so the spread measures sensitivity to the particular random instruction
+    stream rather than to the workload's character.
+    """
+
+    benchmark: str
+    technique: str
+    n_seeds: int
+    mean_slowdown: float
+    std_slowdown: float
+    mean_energy_delay: float
+    std_energy_delay: float
+    max_violation_fraction: float
+    runs: Tuple[RelativeMetrics, ...]
+
+
+@dataclass(frozen=True)
+class TechniqueSummary:
+    """Aggregate of one technique over many benchmarks (a table row)."""
+
+    technique: str
+    avg_slowdown: float
+    worst_slowdown: float
+    worst_benchmark: str
+    apps_over_15_percent: int
+    avg_energy_delay: float
+    avg_first_level_fraction: float
+    avg_second_level_fraction: float
+    total_violation_cycles: int
+    per_benchmark: Tuple[RelativeMetrics, ...]
+
+
+class BenchmarkRunner:
+    """Runs benchmarks against controller factories, caching base runs."""
+
+    def __init__(self, config: Optional[SweepConfig] = None):
+        self.config = config or SweepConfig()
+        self._base_cache: Dict[tuple, SimulationResult] = {}
+
+    def _build_simulation(
+        self,
+        benchmark: str,
+        controller: NoiseController,
+        record: bool = False,
+        seed: Optional[int] = None,
+    ) -> Simulation:
+        config = self.config
+        processor = Processor.from_profile(
+            SPEC2K[benchmark],
+            n_instructions=config.instructions(),
+            config=config.processor,
+            supply_config=config.supply,
+            seed=seed,
+        )
+        supply = PowerSupply(
+            config.supply, initial_current=config.processor.min_current_amps
+        )
+        return Simulation(
+            processor,
+            supply,
+            controller,
+            record=record,
+            benchmark=benchmark,
+            warmup_cycles=config.warmup_cycles,
+        )
+
+    def run_base(
+        self, benchmark: str, seed: Optional[int] = None
+    ) -> SimulationResult:
+        """Run (or fetch the cached) uncontrolled base configuration."""
+        key = (benchmark, seed)
+        if key not in self._base_cache:
+            simulation = self._build_simulation(
+                benchmark, NullController(), seed=seed
+            )
+            self._base_cache[key] = simulation.run(self.config.n_cycles)
+        return self._base_cache[key]
+
+    def run_technique(
+        self,
+        benchmark: str,
+        factory: ControllerFactory,
+        seed: Optional[int] = None,
+    ) -> SimulationResult:
+        controller = factory(self.config.supply, self.config.processor)
+        simulation = self._build_simulation(benchmark, controller, seed=seed)
+        return simulation.run(self.config.n_cycles)
+
+    def compare(
+        self,
+        benchmark: str,
+        factory: ControllerFactory,
+        seed: Optional[int] = None,
+    ) -> RelativeMetrics:
+        base = self.run_base(benchmark, seed=seed)
+        result = self.run_technique(benchmark, factory, seed=seed)
+        return result.relative_to(base)
+
+    def compare_seeds(
+        self,
+        benchmark: str,
+        factory: ControllerFactory,
+        n_seeds: int = 3,
+    ) -> SeedStatistics:
+        """Repeat the comparison over ``n_seeds`` regenerated traces."""
+        if n_seeds < 1:
+            raise ValueError("n_seeds must be at least 1")
+        profile_seed = SPEC2K[benchmark].seed
+        seeds: List[Optional[int]] = [None]
+        seeds += [profile_seed + 1000 * k for k in range(1, n_seeds)]
+        runs = tuple(
+            self.compare(benchmark, factory, seed=seed) for seed in seeds
+        )
+        slowdowns = [run.slowdown for run in runs]
+        energy_delays = [run.energy_delay for run in runs]
+
+        def mean(values):
+            return sum(values) / len(values)
+
+        def std(values):
+            centre = mean(values)
+            return (sum((v - centre) ** 2 for v in values) / len(values)) ** 0.5
+
+        return SeedStatistics(
+            benchmark=benchmark,
+            technique=runs[0].technique,
+            n_seeds=n_seeds,
+            mean_slowdown=mean(slowdowns),
+            std_slowdown=std(slowdowns),
+            mean_energy_delay=mean(energy_delays),
+            std_energy_delay=std(energy_delays),
+            max_violation_fraction=max(run.violation_fraction for run in runs),
+            runs=runs,
+        )
+
+    def sweep(
+        self,
+        factory: ControllerFactory,
+        benchmarks: Optional[Sequence[str]] = None,
+        progress: Optional[Callable[[str, RelativeMetrics], None]] = None,
+    ) -> TechniqueSummary:
+        """Run one technique over a benchmark list and aggregate."""
+        names = list(benchmarks) if benchmarks is not None else sorted(SPEC2K)
+        rows: List[RelativeMetrics] = []
+        violation_cycles = 0
+        for name in names:
+            metrics = self.compare(name, factory)
+            rows.append(metrics)
+            violation_cycles += round(
+                metrics.violation_fraction * self.config.n_cycles
+            )
+            if progress is not None:
+                progress(name, metrics)
+        return summarize(rows, violation_cycles)
+
+
+def summarize(
+    rows: Iterable[RelativeMetrics], total_violation_cycles: int = 0
+) -> TechniqueSummary:
+    """Aggregate per-benchmark relative metrics into a table row."""
+    rows = tuple(rows)
+    if not rows:
+        raise ValueError("summarize needs at least one row")
+    worst = max(rows, key=lambda row: row.slowdown)
+    return TechniqueSummary(
+        technique=rows[0].technique,
+        avg_slowdown=sum(row.slowdown for row in rows) / len(rows),
+        worst_slowdown=worst.slowdown,
+        worst_benchmark=worst.benchmark,
+        apps_over_15_percent=sum(1 for row in rows if row.slowdown > 1.15),
+        avg_energy_delay=sum(row.energy_delay for row in rows) / len(rows),
+        avg_first_level_fraction=(
+            sum(row.first_level_fraction for row in rows) / len(rows)
+        ),
+        avg_second_level_fraction=(
+            sum(row.second_level_fraction for row in rows) / len(rows)
+        ),
+        total_violation_cycles=total_violation_cycles,
+        per_benchmark=rows,
+    )

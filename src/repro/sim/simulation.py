@@ -1,0 +1,112 @@
+"""The cycle loop: processor -> power supply -> noise controller.
+
+Each cycle the controller's directives (computed from everything observed
+up to the previous cycle) steer the processor; the processor's current
+drives the power supply; the resulting current and voltage are fed back to
+the controller.  This ordering gives every technique an inherent one-cycle
+sensing loop, on top of which techniques model their own sensor and
+actuation delays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.controller import NoiseController, NullController
+from repro.errors import SimulationError
+from repro.power.supply import PowerSupply
+from repro.sim.metrics import SimulationResult
+from repro.uarch.processor import Processor
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """Wires one processor, one power supply and one controller together."""
+
+    def __init__(
+        self,
+        processor: Processor,
+        supply: PowerSupply,
+        controller: Optional[NoiseController] = None,
+        record: bool = False,
+        benchmark: str = "workload",
+        warmup_cycles: int = 0,
+    ):
+        if warmup_cycles < 0:
+            raise SimulationError("warmup_cycles must be non-negative")
+        self.processor = processor
+        self.supply = supply
+        self.controller = controller or NullController()
+        self.record = record
+        self.benchmark = benchmark
+        self.warmup_cycles = warmup_cycles
+        self.currents: Optional[list] = [] if record else None
+        self.voltages: Optional[list] = [] if record else None
+        self._ran = False
+
+    def run(self, n_cycles: int) -> SimulationResult:
+        """Run ``n_cycles`` (after any warmup) and return the result record.
+
+        Warmup cycles execute normally -- the controller runs, the supply
+        rings -- but are excluded from every reported statistic, mirroring
+        the paper's fast-forward past initialization (its violations are
+        measured in steady state, not during the power-on ramp).
+        """
+        if n_cycles <= 0:
+            raise SimulationError("n_cycles must be positive")
+        if self._ran:
+            raise SimulationError("a Simulation object runs exactly once")
+        self._ran = True
+
+        processor = self.processor
+        supply = self.supply
+        controller = self.controller
+        record = self.record
+        # Let the power model convert amps to joules.
+        processor.power.attach_supply(
+            supply.config.vdd_volts, supply.config.cycle_seconds
+        )
+
+        snapshot = self._snapshot()
+        for cycle in range(self.warmup_cycles + n_cycles):
+            if cycle == self.warmup_cycles:
+                snapshot = self._snapshot()
+            directives = controller.directives(cycle)
+            stats = processor.step(directives)
+            voltage = supply.step(stats.current_amps)
+            controller.observe(cycle, stats.current_amps, voltage, stats)
+            if record and cycle >= self.warmup_cycles:
+                self.currents.append(stats.current_amps)
+                self.voltages.append(voltage)
+
+        end = self._snapshot()
+        # The technique's own hardware energy (Section 4.1 charges tuning's
+        # detection hardware this way) counts against it.
+        overhead = controller.overhead_energy_joules(n_cycles)
+        return SimulationResult(
+            benchmark=self.benchmark,
+            technique=controller.name,
+            cycles=n_cycles,
+            instructions=end["instructions"] - snapshot["instructions"],
+            energy_joules=end["energy"] - snapshot["energy"] + overhead,
+            phantom_energy_joules=end["phantom"] - snapshot["phantom"],
+            violation_cycles=end["violation_cycles"] - snapshot["violation_cycles"],
+            violation_events=end["violation_events"] - snapshot["violation_events"],
+            first_level_cycles=end["first_level"] - snapshot["first_level"],
+            second_level_cycles=end["second_level"] - snapshot["second_level"],
+            currents=self.currents,
+            voltages=self.voltages,
+        )
+
+    def _snapshot(self) -> dict:
+        fractions = self.controller.response_cycle_fractions
+        return {
+            "instructions": self.processor.committed_instructions,
+            "energy": self.processor.total_energy_joules,
+            "phantom": self.processor.phantom_energy_joules,
+            "violation_cycles": self.supply.violation_cycles,
+            "violation_events": self.supply.violation_events,
+            "first_level": fractions.get("first_level_cycles", 0),
+            "second_level": fractions.get("second_level_cycles", 0),
+        }

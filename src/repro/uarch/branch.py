@@ -1,0 +1,45 @@
+"""Branch-redirect model for the trace-driven frontend.
+
+Synthetic traces mark which branches resolve as mispredicted; this unit
+tracks the resulting frontend bubble.  When a mispredicted branch is
+dispatched, fetch stops; when it resolves (finishes execution), fetch
+restarts after the redirect penalty.  Wrong-path execution energy is not
+modelled (the paper's clock-gating model likewise idles unused resources).
+"""
+
+from __future__ import annotations
+
+from repro.config import ProcessorConfig
+
+__all__ = ["BranchUnit"]
+
+
+class BranchUnit:
+    """Tracks at most one outstanding mispredicted branch."""
+
+    def __init__(self, config: ProcessorConfig):
+        self._penalty = config.branch_mispredict_penalty
+        self._blocking_seq: "int | None" = None
+        self._fetch_resume_cycle = 0
+        self.mispredicts = 0
+
+    def on_dispatch_mispredict(self, seq: int) -> None:
+        """A mispredicted branch entered the window; fetch stops behind it."""
+        self._blocking_seq = seq
+        self.mispredicts += 1
+
+    def on_resolve(self, seq: int, cycle: int) -> None:
+        """A branch finished executing; lift the block if it was the blocker."""
+        if seq == self._blocking_seq:
+            self._blocking_seq = None
+            self._fetch_resume_cycle = max(
+                self._fetch_resume_cycle, cycle + self._penalty
+            )
+
+    def fetch_allowed(self, cycle: int) -> bool:
+        """May the frontend dispatch new instructions this cycle?"""
+        return self._blocking_seq is None and cycle >= self._fetch_resume_cycle
+
+    @property
+    def blocked(self) -> bool:
+        return self._blocking_seq is not None

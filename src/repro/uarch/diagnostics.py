@@ -1,0 +1,106 @@
+"""Workload characterization: what a profile actually does on the machine.
+
+Used when tuning synthetic profiles (see `tools/probe_workloads.py`) and by
+tests that pin each benchmark's emergent behaviour: IPC, per-cycle current
+statistics, the dominant oscillation period of the current waveform and
+whether it falls inside a supply's resonance band, and the violation
+fraction on a given supply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import (
+    PowerSupplyConfig,
+    ProcessorConfig,
+    TABLE1_PROCESSOR,
+    TABLE1_SUPPLY,
+)
+from repro.errors import SimulationError
+from repro.power.rlc import RLCAnalysis
+from repro.power.supply import PowerSupply
+from repro.uarch.processor import Processor
+from repro.uarch.trace import WorkloadProfile
+
+__all__ = ["WorkloadCharacter", "characterize", "dominant_period_cycles"]
+
+
+def dominant_period_cycles(currents: np.ndarray) -> float:
+    """Period (in cycles) of the strongest spectral component of a waveform."""
+    currents = np.asarray(currents, dtype=float)
+    if len(currents) < 16:
+        raise SimulationError("need at least 16 samples for a spectrum")
+    centred = currents - currents.mean()
+    spectrum = np.abs(np.fft.rfft(centred * np.hanning(len(centred))))
+    frequencies = np.fft.rfftfreq(len(centred), d=1.0)
+    peak = int(np.argmax(spectrum[1:])) + 1
+    return 1.0 / frequencies[peak]
+
+
+@dataclass(frozen=True)
+class WorkloadCharacter:
+    """Emergent behaviour of one profile on one processor + supply."""
+
+    name: str
+    cycles: int
+    ipc: float
+    current_low_amps: float      # 2nd percentile
+    current_high_amps: float     # 98th percentile
+    current_mean_amps: float
+    dominant_period_cycles: float
+    period_in_band: bool
+    violation_fraction: float
+
+    @property
+    def current_swing_amps(self) -> float:
+        return self.current_high_amps - self.current_low_amps
+
+
+def characterize(
+    profile: WorkloadProfile,
+    n_cycles: int = 30_000,
+    warmup_cycles: int = 2_000,
+    processor_config: Optional[ProcessorConfig] = None,
+    supply_config: Optional[PowerSupplyConfig] = None,
+    seed: Optional[int] = None,
+) -> WorkloadCharacter:
+    """Run the profile on the base processor and summarize its behaviour."""
+    processor_config = processor_config or TABLE1_PROCESSOR
+    supply_config = supply_config or TABLE1_SUPPLY
+    processor = Processor.from_profile(
+        profile,
+        n_instructions=max(20_000, int((n_cycles + warmup_cycles) * 4.5)),
+        config=processor_config,
+        supply_config=supply_config,
+        seed=seed,
+    )
+    supply = PowerSupply(
+        supply_config, initial_current=processor_config.min_current_amps
+    )
+    currents = np.zeros(n_cycles)
+    violations = 0
+    for cycle in range(warmup_cycles + n_cycles):
+        stats = processor.step()
+        voltage = supply.step(stats.current_amps)
+        if cycle >= warmup_cycles:
+            currents[cycle - warmup_cycles] = stats.current_amps
+            if abs(voltage) > supply_config.noise_margin_volts:
+                violations += 1
+
+    period = dominant_period_cycles(currents)
+    band = RLCAnalysis(supply_config).band
+    return WorkloadCharacter(
+        name=profile.name,
+        cycles=n_cycles,
+        ipc=processor.ipc,
+        current_low_amps=float(np.percentile(currents, 2)),
+        current_high_amps=float(np.percentile(currents, 98)),
+        current_mean_amps=float(np.mean(currents)),
+        dominant_period_cycles=period,
+        period_in_band=band.contains_period(round(period)),
+        violation_fraction=violations / n_cycles,
+    )

@@ -1,0 +1,62 @@
+"""Instruction classes for the trace-driven processor model.
+
+The simulator executes statistical traces rather than a real ISA (see the
+substitution table in DESIGN.md), so an "instruction" is an operation class
+plus dependency and memory-behaviour annotations.  Operation classes map to
+the Table 1 functional units: integer ALUs and multipliers, floating-point
+ALUs and multipliers, the two-ported L1 data cache, and the branch unit.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["OpClass", "MemLevel", "EXECUTION_LATENCY", "FU_FOR_OP"]
+
+
+class OpClass(IntEnum):
+    """Operation classes; values index numpy trace arrays."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP_ALU = 2
+    FP_MUL = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+
+class MemLevel(IntEnum):
+    """Where a memory operation hits in the hierarchy."""
+
+    NONE = -1
+    L1 = 0
+    L2 = 1
+    MEMORY = 2
+
+
+#: Execution latency in cycles for non-memory operations (memory operations
+#: take their latency from the cache hierarchy).  Branches execute on the
+#: integer ALUs.
+EXECUTION_LATENCY = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.FP_ALU: 2,
+    OpClass.FP_MUL: 4,
+    OpClass.BRANCH: 1,
+}
+
+#: Which functional-unit pool each operation class occupies.
+FU_FOR_OP = {
+    OpClass.INT_ALU: "int_alu",
+    OpClass.INT_MUL: "int_mul",
+    OpClass.FP_ALU: "fp_alu",
+    OpClass.FP_MUL: "fp_mul",
+    OpClass.BRANCH: "int_alu",
+    OpClass.LOAD: "cache_port",
+    OpClass.STORE: "cache_port",
+}

@@ -1,0 +1,392 @@
+"""Cycle-level out-of-order pipeline (Table 1 configuration).
+
+An 8-wide out-of-order core executing a synthetic trace: in-order dispatch
+into a 128-entry reorder buffer (and load/store queue), dataflow-driven
+issue limited by issue width, functional-unit pools and cache ports,
+full-latency execution, and in-order commit.  Mispredicted branches stall
+the frontend until they resolve plus a redirect penalty.
+
+The scheduler is event-driven rather than scan-based: consumers are woken by
+producer-completion events, and ready instructions sit in heaps, so per-cycle
+work is proportional to actual activity instead of window size (the paper's
+SimpleScalar-derived simulator scans; the results are equivalent, the speed
+is what makes a pure-Python reproduction feasible).
+
+Control hooks (:class:`ControlDirectives`) expose exactly the levers the
+paper's techniques use: issue-width and cache-port clamps plus issue stalling
+with a phantom current floor (resonance tuning), fetch/issue stalling and
+phantom firing (the [10] baseline), and per-cycle issued-current-estimate
+bounds (pipeline damping).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.config import ProcessorConfig
+from repro.errors import SimulationError
+from repro.uarch.branch import BranchUnit
+from repro.uarch.cache import CacheHierarchy
+from repro.uarch.isa import EXECUTION_LATENCY, OpClass
+from repro.uarch.power_model import PowerModel
+from repro.uarch.resources import CachePorts, FunctionalUnits
+from repro.uarch.trace import MAX_DEP_DISTANCE, SyntheticTrace
+
+__all__ = ["ControlDirectives", "CycleStats", "Pipeline", "NO_CONTROL"]
+
+#: Sliding dependency window; must exceed ROB size plus the maximum
+#: producer-consumer distance so producer slots are never reused while a
+#: consumer can still look them up.
+_WINDOW = 512
+_UNFINISHED = 1 << 60
+#: Bound on how deep issue selection scans past resource-blocked entries.
+_SCAN_FACTOR = 4
+
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+_BRANCH = int(OpClass.BRANCH)
+_EXEC_LATENCY = {int(op): lat for op, lat in EXECUTION_LATENCY.items()}
+
+
+@dataclass(frozen=True)
+class ControlDirectives:
+    """Per-cycle levers a noise controller may pull (all default inactive)."""
+
+    issue_width_limit: Optional[int] = None
+    cache_ports_limit: Optional[int] = None
+    stall_issue: bool = False
+    stall_fetch: bool = False
+    current_floor_amps: float = 0.0
+    issue_estimate_bounds: Optional[Tuple[float, float]] = None
+
+
+NO_CONTROL = ControlDirectives()
+
+
+@dataclass
+class CycleStats:
+    """What happened in one cycle (consumed by controllers and metrics)."""
+
+    __slots__ = (
+        "cycle",
+        "current_amps",
+        "phantom_amps",
+        "dispatched",
+        "issued",
+        "committed",
+        "issued_estimate_amps",
+        "rob_occupancy",
+    )
+
+    cycle: int
+    current_amps: float
+    phantom_amps: float
+    dispatched: int
+    issued: int
+    committed: int
+    issued_estimate_amps: float
+    rob_occupancy: int
+
+
+class Pipeline:
+    """Executes one synthetic trace cycle by cycle."""
+
+    def __init__(
+        self,
+        trace: SyntheticTrace,
+        config: ProcessorConfig,
+        power: Optional[PowerModel] = None,
+        cache: Optional[CacheHierarchy] = None,
+    ):
+        if _WINDOW < config.rob_entries + MAX_DEP_DISTANCE:
+            raise SimulationError("dependency window smaller than ROB + max distance")
+        self.trace = trace
+        self.config = config
+        self.power = power or PowerModel(config)
+        self.cache = cache or CacheHierarchy(config)
+        self.branch_unit = BranchUnit(config)
+        self._fus = FunctionalUnits(config)
+        self._ports = CachePorts(config)
+
+        # Trace columns as plain lists: scalar indexing is much faster than
+        # numpy element access in the per-cycle loop.
+        self._op = trace.op_class.tolist()
+        self._dep1 = trace.dep1.tolist()
+        self._dep2 = trace.dep2.tolist()
+        self._mem_level = trace.mem_level.tolist()
+        self._mispredict = trace.mispredict.tolist()
+        self._icache_miss = trace.icache_miss.tolist()
+        self._n_trace = len(trace)
+
+        # Sliding window state, indexed by sequence number modulo _WINDOW.
+        self._finish = [0] * _WINDOW
+        self._npend = [0] * _WINDOW
+        self._base_rc = [0] * _WINDOW
+        self._consumers = [[] for _ in range(_WINDOW)]
+
+        self._pending_ready = []  # (ready_cycle, seq)
+        self._ready_now = []      # seq
+        self._completions = []    # (finish_cycle, seq)
+
+        self.cycle = 0
+        self.seq_dispatch = 0
+        self.seq_commit = 0
+        self.rob_count = 0
+        self.lsq_count = 0
+        self._icache_stall_until = 0
+        self._outstanding_misses = 0
+        self.icache_stalls = 0
+        self.mshr_stall_cycles = 0
+        self.total_committed = 0
+        self.total_issued = 0
+        self.total_dispatched = 0
+        self._estimates = {
+            op: self.power.apriori_issue_estimate(op) for op in range(7)
+        }
+
+    # ------------------------------------------------------------------
+    def step(self, directives: ControlDirectives = NO_CONTROL) -> CycleStats:
+        """Advance one cycle under the given control directives."""
+        cycle = self.cycle
+        self._process_completions(cycle)
+        dispatched = 0 if directives.stall_fetch else self._dispatch(cycle)
+        issued, issued_estimate = self._issue(cycle, directives)
+        committed = self._commit(cycle)
+
+        power = self.power
+        if dispatched:
+            power.add_dispatch(dispatched)
+        if committed:
+            power.add_commit(committed)
+        power.add_occupancy(self.rob_count)
+
+        floor = directives.current_floor_amps
+        if floor > 0.0:
+            activity = power.preview_current()
+            phantom = max(0.0, floor - activity)
+        else:
+            phantom = 0.0
+        if directives.issue_estimate_bounds is not None:
+            low = directives.issue_estimate_bounds[0]
+            if issued_estimate < low:
+                phantom += low - issued_estimate
+                issued_estimate = low
+        current = power.end_cycle(phantom)
+
+        self.total_committed += committed
+        self.total_issued += issued
+        self.total_dispatched += dispatched
+        self.cycle = cycle + 1
+        return CycleStats(
+            cycle=cycle,
+            current_amps=current,
+            phantom_amps=phantom,
+            dispatched=dispatched,
+            issued=issued,
+            committed=committed,
+            issued_estimate_amps=issued_estimate,
+            rob_occupancy=self.rob_count,
+        )
+
+    # ------------------------------------------------------------------
+    def _process_completions(self, cycle: int) -> None:
+        completions = self._completions
+        consumers = self._consumers
+        npend = self._npend
+        base_rc = self._base_rc
+        pending_ready = self._pending_ready
+        while completions and completions[0][0] <= cycle:
+            finish_cycle, seq = heapq.heappop(completions)
+            w = seq % _WINDOW
+            index = seq % self._n_trace
+            if self._op[index] == _BRANCH and self._mispredict[index]:
+                self.branch_unit.on_resolve(seq, finish_cycle)
+            elif self._op[index] == _LOAD and self._mem_level[index] >= 1:
+                self._outstanding_misses -= 1
+            waiters = consumers[w]
+            if waiters:
+                for consumer in waiters:
+                    cw = consumer % _WINDOW
+                    if base_rc[cw] < finish_cycle:
+                        base_rc[cw] = finish_cycle
+                    npend[cw] -= 1
+                    if npend[cw] == 0:
+                        heapq.heappush(pending_ready, (base_rc[cw], consumer))
+                consumers[w] = []
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, cycle: int) -> int:
+        config = self.config
+        branch_unit = self.branch_unit
+        finish = self._finish
+        npend = self._npend
+        base_rc = self._base_rc
+        consumers = self._consumers
+        op_list = self._op
+        n_trace = self._n_trace
+        dispatched = 0
+        seq = self.seq_dispatch
+        if cycle < self._icache_stall_until:
+            return 0
+
+        while (
+            dispatched < config.fetch_width
+            and self.rob_count < config.rob_entries
+            and branch_unit.fetch_allowed(cycle)
+        ):
+            index = seq % n_trace
+            op = op_list[index]
+            if self._icache_miss[index] and dispatched > 0:
+                break  # the missing block starts next cycle's stall
+            if self._icache_miss[index]:
+                self._icache_stall_until = cycle + config.icache_miss_penalty
+                self.icache_stalls += 1
+            is_mem = op == _LOAD or op == _STORE
+            if is_mem and self.lsq_count >= config.lsq_entries:
+                break
+            w = seq % _WINDOW
+            finish[w] = _UNFINISHED
+            ready_cycle = cycle + 1
+            pending = 0
+            for distance in (self._dep1[index], self._dep2[index]):
+                if distance:
+                    producer = seq - distance
+                    if producer >= 0:
+                        pw = producer % _WINDOW
+                        producer_finish = finish[pw]
+                        if producer_finish == _UNFINISHED:
+                            consumers[pw].append(seq)
+                            pending += 1
+                        elif producer_finish > ready_cycle:
+                            ready_cycle = producer_finish
+            if pending:
+                npend[w] = pending
+                base_rc[w] = ready_cycle
+            else:
+                heapq.heappush(self._pending_ready, (ready_cycle, seq))
+            if is_mem:
+                self.lsq_count += 1
+            if op == _BRANCH and self._mispredict[index]:
+                branch_unit.on_dispatch_mispredict(seq)
+            self.rob_count += 1
+            dispatched += 1
+            seq += 1
+
+        self.seq_dispatch = seq
+        return dispatched
+
+    # ------------------------------------------------------------------
+    def _issue(self, cycle: int, directives: ControlDirectives):
+        pending_ready = self._pending_ready
+        ready_now = self._ready_now
+        while pending_ready and pending_ready[0][0] <= cycle:
+            _, seq = heapq.heappop(pending_ready)
+            heapq.heappush(ready_now, seq)
+
+        if directives.stall_issue:
+            return 0, 0.0
+        config = self.config
+        width = config.issue_width
+        if directives.issue_width_limit is not None:
+            width = max(0, min(width, directives.issue_width_limit))
+        if width == 0 or not ready_now:
+            return 0, 0.0
+
+        bounds = directives.issue_estimate_bounds
+        estimate_cap = bounds[1] if bounds is not None else None
+
+        fus = self._fus
+        ports = self._ports
+        fus.new_cycle()
+        ports.new_cycle(directives.cache_ports_limit)
+
+        op_list = self._op
+        mem_levels = self._mem_level
+        finish = self._finish
+        estimates = self._estimates
+        power = self.power
+        completions = self._completions
+        n_trace = self._n_trace
+
+        issued = 0
+        issued_estimate = 0.0
+        blocked = []
+        scans = 0
+        max_scans = width * _SCAN_FACTOR
+
+        while ready_now and issued < width and scans < max_scans:
+            seq = heapq.heappop(ready_now)
+            scans += 1
+            index = seq % n_trace
+            op = op_list[index]
+            estimate = estimates[op]
+            if estimate_cap is not None and issued_estimate + estimate > estimate_cap:
+                blocked.append(seq)
+                break  # damping bound reached: nothing else may issue
+            if op == _LOAD or op == _STORE:
+                is_miss = op == _LOAD and mem_levels[index] >= 1
+                if is_miss and self._outstanding_misses >= self.config.mshr_entries:
+                    blocked.append(seq)
+                    self.mshr_stall_cycles += 1
+                    continue
+                if not ports.try_claim():
+                    blocked.append(seq)
+                    continue
+                access = self.cache.access(mem_levels[index], op == _STORE)
+                latency = access.latency
+                power.add_cache_access(access)
+                if is_miss:
+                    self._outstanding_misses += 1
+            else:
+                if not fus.try_claim(op):
+                    blocked.append(seq)
+                    continue
+                latency = _EXEC_LATENCY[op]
+            finish_cycle = cycle + latency
+            finish[seq % _WINDOW] = finish_cycle
+            heapq.heappush(completions, (finish_cycle, seq))
+            power.add_issue(op, latency)
+            issued += 1
+            issued_estimate += estimate
+
+        for seq in blocked:
+            heapq.heappush(ready_now, seq)
+        return issued, issued_estimate
+
+    # ------------------------------------------------------------------
+    def _commit(self, cycle: int) -> int:
+        config = self.config
+        finish = self._finish
+        op_list = self._op
+        n_trace = self._n_trace
+        committed = 0
+        seq = self.seq_commit
+        while committed < config.commit_width and seq < self.seq_dispatch:
+            w = seq % _WINDOW
+            if finish[w] > cycle:
+                break
+            op = op_list[seq % n_trace]
+            if op == _LOAD or op == _STORE:
+                self.lsq_count -= 1
+            self.rob_count -= 1
+            committed += 1
+            seq += 1
+        self.seq_commit = seq
+        return committed
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle so far."""
+        if self.cycle == 0:
+            return 0.0
+        return self.total_committed / self.cycle
+
+    def run(self, n_cycles: int, directives: ControlDirectives = NO_CONTROL):
+        """Run ``n_cycles`` under fixed directives; returns final stats."""
+        stats = None
+        for _ in range(n_cycles):
+            stats = self.step(directives)
+        return stats

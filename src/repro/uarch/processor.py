@@ -1,0 +1,82 @@
+"""Processor facade: trace + pipeline + power model as one steppable object.
+
+This is what the simulation loop and the noise controllers interact with.
+Each :meth:`Processor.step` advances one cycle under a set of
+:class:`~repro.uarch.pipeline.ControlDirectives` and returns the cycle's
+:class:`~repro.uarch.pipeline.CycleStats`, most importantly the per-cycle
+core current in amps that drives the power supply.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import PowerSupplyConfig, ProcessorConfig
+from repro.uarch.cache import CacheHierarchy
+from repro.uarch.pipeline import ControlDirectives, CycleStats, NO_CONTROL, Pipeline
+from repro.uarch.power_model import EnergyWeights, PowerModel
+from repro.uarch.trace import SyntheticTrace, WorkloadProfile, generate_trace
+
+__all__ = ["Processor"]
+
+
+class Processor:
+    """A complete simulated processor executing one workload."""
+
+    def __init__(
+        self,
+        trace: SyntheticTrace,
+        config: Optional[ProcessorConfig] = None,
+        weights: Optional[EnergyWeights] = None,
+        supply_config: Optional[PowerSupplyConfig] = None,
+    ):
+        self.config = config or ProcessorConfig()
+        self.power = PowerModel(self.config, weights)
+        if supply_config is not None:
+            self.power.attach_supply(
+                supply_config.vdd_volts, supply_config.cycle_seconds
+            )
+        self.cache = CacheHierarchy(self.config)
+        self.pipeline = Pipeline(trace, self.config, self.power, self.cache)
+        self.trace = trace
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile: WorkloadProfile,
+        n_instructions: int = 200_000,
+        config: Optional[ProcessorConfig] = None,
+        supply_config: Optional[PowerSupplyConfig] = None,
+        seed: Optional[int] = None,
+    ) -> "Processor":
+        """Build a processor running a freshly generated synthetic trace."""
+        trace = generate_trace(profile, n_instructions, seed=seed)
+        return cls(trace, config=config, supply_config=supply_config)
+
+    def step(self, directives: ControlDirectives = NO_CONTROL) -> CycleStats:
+        """Advance one cycle; returns the cycle statistics."""
+        return self.pipeline.step(directives)
+
+    @property
+    def cycle(self) -> int:
+        return self.pipeline.cycle
+
+    @property
+    def ipc(self) -> float:
+        return self.pipeline.ipc
+
+    @property
+    def committed_instructions(self) -> int:
+        return self.pipeline.total_committed
+
+    @property
+    def total_energy_joules(self) -> float:
+        return self.power.total_energy_joules
+
+    @property
+    def phantom_energy_joules(self) -> float:
+        return self.power.phantom_energy_joules
+
+    def apriori_issue_estimate(self, op_class: int) -> float:
+        """A-priori per-issue current estimate (for the damping baseline)."""
+        return self.power.apriori_issue_estimate(op_class)

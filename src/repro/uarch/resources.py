@@ -1,0 +1,80 @@
+"""Per-cycle structural resources: functional-unit pools and cache ports.
+
+Functional units are fully pipelined, so a unit is occupied only in the
+cycle an operation issues to it; the pools therefore reset every cycle.
+Resonance tuning's first-level response shrinks the apparent issue width and
+port count without touching the pools themselves.
+"""
+
+from __future__ import annotations
+
+from repro.config import ProcessorConfig
+from repro.errors import SimulationError
+from repro.uarch.isa import OpClass
+
+__all__ = ["FunctionalUnits", "CachePorts"]
+
+
+class FunctionalUnits:
+    """Counts per-cycle issue slots per functional-unit pool."""
+
+    def __init__(self, config: ProcessorConfig):
+        self._capacity = {
+            "int_alu": config.int_alus,
+            "int_mul": config.int_muls,
+            "fp_alu": config.fp_alus,
+            "fp_mul": config.fp_muls,
+        }
+        self._used = dict.fromkeys(self._capacity, 0)
+
+    def new_cycle(self) -> None:
+        for key in self._used:
+            self._used[key] = 0
+
+    def try_claim(self, op_class: int) -> bool:
+        """Claim a unit for this cycle; False if the pool is exhausted."""
+        pool = _POOL_FOR_OP.get(op_class)
+        if pool is None:
+            return True  # memory ops are limited by cache ports instead
+        if self._used[pool] >= self._capacity[pool]:
+            return False
+        self._used[pool] += 1
+        return True
+
+    def capacity(self, pool: str) -> int:
+        if pool not in self._capacity:
+            raise SimulationError(f"unknown functional-unit pool {pool!r}")
+        return self._capacity[pool]
+
+
+class CachePorts:
+    """Per-cycle L1 data-cache port arbitration (loads and stores share)."""
+
+    def __init__(self, config: ProcessorConfig):
+        self.capacity = config.cache_ports
+        self._limit = config.cache_ports
+        self._used = 0
+
+    def new_cycle(self, limit: "int | None" = None) -> None:
+        """Start a cycle, optionally clamped (first-level response 2 -> 1)."""
+        self._used = 0
+        self._limit = self.capacity if limit is None else max(0, min(limit, self.capacity))
+
+    def try_claim(self) -> bool:
+        if self._used >= self._limit:
+            return False
+        self._used += 1
+        return True
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+
+_POOL_FOR_OP = {
+    int(OpClass.INT_ALU): "int_alu",
+    int(OpClass.INT_MUL): "int_mul",
+    int(OpClass.FP_ALU): "fp_alu",
+    int(OpClass.FP_MUL): "fp_mul",
+    int(OpClass.BRANCH): "int_alu",
+}

@@ -1,0 +1,121 @@
+"""Tests for the gshare predictor and synthetic branch outcome streams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch import (
+    GSharePredictor,
+    SyntheticBranchSpace,
+    WorkloadProfile,
+    generate_trace,
+    simulate_mispredicts,
+)
+from repro.uarch.isa import OpClass
+
+
+class TestGSharePredictor:
+    def test_learns_always_taken_branch(self):
+        predictor = GSharePredictor(history_bits=0)
+        for _ in range(20):
+            predictor.update(pc=0x1234, taken=True)
+        assert predictor.predict(0x1234)
+        assert predictor.mispredict_rate < 0.2
+
+    def test_learns_never_taken_branch(self):
+        predictor = GSharePredictor(history_bits=0)
+        for _ in range(20):
+            predictor.update(pc=0x4321, taken=False)
+        assert not predictor.predict(0x4321)
+
+    def test_alternating_pattern_learned_with_history(self):
+        """T,N,T,N is hopeless for bimodal but trivial for gshare."""
+        bimodal = GSharePredictor(history_bits=0)
+        gshare = GSharePredictor(history_bits=8)
+        for predictor in (bimodal, gshare):
+            for step in range(400):
+                predictor.update(pc=0x777, taken=(step % 2 == 0))
+        assert gshare.mispredict_rate < 0.2
+        assert bimodal.mispredict_rate > 0.4
+
+    def test_counters_saturate(self):
+        predictor = GSharePredictor(history_bits=0)
+        for _ in range(100):
+            predictor.update(0x1, True)
+        # One contrary outcome must not flip the prediction (hysteresis).
+        predictor.update(0x1, False)
+        assert predictor.predict(0x1)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            GSharePredictor(table_bits=1)
+        with pytest.raises(ConfigurationError):
+            GSharePredictor(table_bits=10, history_bits=12)
+
+    def test_rate_zero_before_predictions(self):
+        assert GSharePredictor().mispredict_rate == 0.0
+
+
+class TestSyntheticBranchSpace:
+    def test_deterministic_for_seeded_rng(self):
+        a = SyntheticBranchSpace(rng=np.random.default_rng(5))
+        b = SyntheticBranchSpace(rng=np.random.default_rng(5))
+        for _ in range(200):
+            assert a.next_branch() == b.next_branch()
+
+    def test_loop_branches_exit_periodically(self):
+        space = SyntheticBranchSpace(
+            n_static=1, loop_fraction=1.0, rng=np.random.default_rng(3)
+        )
+        outcomes = [space.next_branch()[1] for _ in range(200)]
+        # A pure loop branch must be mostly taken with periodic exits.
+        not_taken = outcomes.count(False)
+        assert 2 <= not_taken <= 60
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticBranchSpace(n_static=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticBranchSpace(loop_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            SyntheticBranchSpace(bias_concentration=0.4)
+
+
+class TestSimulatedMispredicts:
+    def test_rate_is_plausible(self):
+        flags = simulate_mispredicts(20_000, np.random.default_rng(1))
+        assert 0.03 < flags.mean() < 0.25
+
+    def test_mispredicts_cluster(self):
+        """The whole point of the model: bursts, not independence."""
+        flags = simulate_mispredicts(30_000, np.random.default_rng(1))
+        rate = flags.mean()
+        adjacent = np.mean(flags[1:] & flags[:-1])
+        assert adjacent > 1.5 * rate * rate
+
+    def test_profile_integration(self):
+        profile = WorkloadProfile(
+            name="g", branch_model="gshare", frac_branch=0.15
+        )
+        trace = generate_trace(profile, 30_000)
+        branches = trace.op_class == int(OpClass.BRANCH)
+        rate = trace.mispredict[branches].mean()
+        assert 0.03 < rate < 0.25
+
+    def test_unknown_branch_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(name="x", branch_model="tage")
+
+    def test_gshare_profile_runs_on_pipeline(self):
+        from repro.config import TABLE1_PROCESSOR
+        from repro.uarch import Pipeline
+
+        profile = WorkloadProfile(
+            name="g", branch_model="gshare", frac_branch=0.15
+        )
+        trace = generate_trace(profile, 20_000)
+        pipeline = Pipeline(trace, TABLE1_PROCESSOR)
+        for _ in range(2_000):
+            pipeline.step()
+        assert pipeline.total_committed > 0
+        assert pipeline.branch_unit.mispredicts > 0

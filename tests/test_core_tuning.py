@@ -1,0 +1,214 @@
+"""Tests for the two-tier resonance-tuning controller (Section 3.2)."""
+
+import pytest
+
+from repro.config import (
+    TABLE1_PROCESSOR,
+    TABLE1_SUPPLY,
+    TABLE1_TUNING,
+    TuningConfig,
+)
+from repro.core import NullController, ResonanceTuningController
+from repro.errors import ConfigurationError
+from repro.power import PowerSupply, waveforms
+from repro.sim import BenchmarkRunner, Simulation, SweepConfig
+from repro.uarch import Processor, SPEC2K
+
+
+def make_controller(**tuning_kwargs):
+    tuning = TuningConfig(**tuning_kwargs) if tuning_kwargs else TABLE1_TUNING
+    return ResonanceTuningController(TABLE1_SUPPLY, TABLE1_PROCESSOR, tuning)
+
+
+def drive_with_wave(controller, wave):
+    """Feed a synthetic current waveform through the controller loop."""
+    directives = []
+    for cycle, current in enumerate(wave):
+        directives.append(controller.directives(cycle))
+        controller.observe(cycle, current, 0.0)
+    return directives
+
+
+class TestConfigValidation:
+    def test_default_thresholds_consistent(self):
+        tuning = TuningConfig()
+        assert tuning.initial_response_threshold < tuning.second_level_threshold
+        assert tuning.second_level_threshold == tuning.max_repetition_tolerance - 1
+
+    def test_rejects_threshold_at_or_above_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            TuningConfig(initial_response_threshold=4, max_repetition_tolerance=4)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            TuningConfig(response_delay_cycles=-1)
+
+
+class TestResponseStateMachine:
+    def test_no_response_on_flat_current(self):
+        controller = make_controller()
+        directives = drive_with_wave(controller, [70.0] * 1500)
+        assert all(d.issue_width_limit is None for d in directives)
+        assert controller.first_level_cycles == 0
+        assert controller.second_level_cycles == 0
+
+    def test_first_level_engages_at_initial_threshold(self):
+        controller = make_controller()
+        wave = waveforms.square_wave(1500, 100, amplitude_pp=40.0, mean=70.0)
+        drive_with_wave(controller, wave)
+        assert controller.first_level_engagements >= 1
+        assert controller.first_level_cycles > 0
+
+    def test_first_level_uses_reduced_widths(self):
+        controller = make_controller()
+        wave = waveforms.square_wave(1500, 100, amplitude_pp=40.0, mean=70.0)
+        directives = drive_with_wave(controller, wave)
+        first = [d for d in directives if d.issue_width_limit is not None]
+        assert first
+        assert all(
+            d.issue_width_limit == TABLE1_TUNING.reduced_issue_width for d in first
+        )
+        assert all(
+            d.cache_ports_limit == TABLE1_TUNING.reduced_cache_ports for d in first
+        )
+
+    def test_second_level_engages_on_sustained_resonance(self):
+        controller = make_controller()
+        # An open-loop waveform the first-level response cannot tune out.
+        wave = waveforms.square_wave(2000, 100, amplitude_pp=45.0, mean=70.0)
+        directives = drive_with_wave(controller, wave)
+        assert controller.second_level_engagements >= 1
+        stall = [d for d in directives if d.stall_issue]
+        assert stall
+        medium = TABLE1_PROCESSOR.medium_current_amps
+        assert all(d.current_floor_amps == pytest.approx(medium) for d in stall)
+
+    def test_second_level_holds_for_minimum_time(self):
+        controller = make_controller()
+        wave = waveforms.square_wave(2000, 100, amplitude_pp=45.0, mean=70.0)
+        directives = drive_with_wave(controller, wave)
+        stall_cycles = [c for c, d in enumerate(directives) if d.stall_issue]
+        # The first contiguous stall must last at least the response time.
+        first = stall_cycles[0]
+        run_length = 1
+        for cycle in stall_cycles[1:]:
+            if cycle == first + run_length:
+                run_length += 1
+            else:
+                break
+        assert run_length >= TABLE1_TUNING.second_level_response_time
+
+    def test_isolated_variation_draws_no_response(self):
+        """The whole point: isolated events are not resonance."""
+        controller = make_controller()
+        wave = waveforms.step(1200, before=50.0, after=100.0, at_cycle=600)
+        drive_with_wave(controller, wave)
+        assert controller.first_level_cycles == 0
+        assert controller.second_level_cycles == 0
+
+    def test_response_delay_shifts_engagement(self):
+        immediate = make_controller()
+        delayed = make_controller(response_delay_cycles=10)
+        wave = waveforms.square_wave(1200, 100, amplitude_pp=40.0, mean=70.0)
+        d_immediate = drive_with_wave(immediate, wave)
+        d_delayed = drive_with_wave(delayed, wave)
+
+        def first_response(directives):
+            for cycle, d in enumerate(directives):
+                if d.issue_width_limit is not None or d.stall_issue:
+                    return cycle
+            return None
+
+        assert first_response(d_delayed) == first_response(d_immediate) + 10
+
+    def test_response_fractions_exposed(self):
+        controller = make_controller()
+        wave = waveforms.square_wave(1500, 100, amplitude_pp=45.0, mean=70.0)
+        drive_with_wave(controller, wave)
+        fractions = controller.response_cycle_fractions
+        assert fractions["first_level_cycles"] == controller.first_level_cycles
+        assert fractions["second_level_cycles"] == controller.second_level_cycles
+
+
+class TestClosedLoop:
+    """End-to-end: tuning on the real processor + supply."""
+
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return BenchmarkRunner(SweepConfig(n_cycles=40_000))
+
+    @pytest.mark.parametrize("name", ["swim", "bzip", "parser"])
+    def test_eliminates_violations_on_violators(self, runner, name):
+        base = runner.run_base(name)
+        assert base.violation_cycles > 0, "workload must violate at base"
+        metrics = runner.compare(
+            name,
+            lambda supply, proc: ResonanceTuningController(supply, proc),
+        )
+        assert metrics.violation_fraction <= 2e-5
+
+    def test_cost_is_modest_on_a_violator(self, runner):
+        metrics = runner.compare(
+            "swim", lambda supply, proc: ResonanceTuningController(supply, proc)
+        )
+        assert 1.0 <= metrics.slowdown < 1.25
+        assert 1.0 <= metrics.energy_delay < 1.40
+
+    def test_negligible_cost_on_quiet_workload(self, runner):
+        metrics = runner.compare(
+            "ammp", lambda supply, proc: ResonanceTuningController(supply, proc)
+        )
+        assert metrics.slowdown < 1.02
+
+    def test_second_level_rarer_than_first_level(self, runner):
+        metrics = runner.compare(
+            "swim", lambda supply, proc: ResonanceTuningController(supply, proc)
+        )
+        assert 0 < metrics.second_level_fraction < metrics.first_level_fraction
+
+
+class TestOverheads:
+    def test_section_3_3_inventory(self):
+        """The paper's hardware cost claims, checked against our detector."""
+        from repro.core.overheads import estimate_overheads
+
+        controller = make_controller()
+        overheads = controller.overheads
+        # Nine 7-bit adders ~ one 64-bit adder per cycle (Section 3.3).
+        assert overheads.adder_count == 9
+        assert overheads.adder_energy_equivalent_64bit == pytest.approx(
+            1.0, abs=0.05
+        )
+        # Event histories: 2 registers x tolerance x max half-period bits.
+        assert overheads.event_history_bits == 2 * 4 * 59
+        assert overheads.total_transistors > 4000  # sensors alone are 4000
+
+    def test_energy_under_one_percent(self):
+        """Section 4.1: overhead is small (< 1 % of processor energy)."""
+        controller = make_controller()
+        fraction = controller.overheads.energy_fraction_of(
+            processor_power_watts=70.0, cycle_seconds=1e-10
+        )
+        assert fraction < 0.01
+
+    def test_simulation_charges_overhead(self):
+        from repro.core import NullController
+        from repro.power import PowerSupply
+        from repro.sim import Simulation
+        from repro.uarch import Processor, SPEC2K
+
+        def run(controller):
+            processor = Processor.from_profile(
+                SPEC2K["gzip"], n_instructions=30_000,
+                config=TABLE1_PROCESSOR, supply_config=TABLE1_SUPPLY,
+            )
+            supply = PowerSupply(TABLE1_SUPPLY, initial_current=35.0)
+            return Simulation(processor, supply, controller).run(2_000)
+
+        quiet = run(NullController())
+        controller = make_controller()
+        tuned = run(controller)
+        expected = controller.overhead_energy_joules(2_000)
+        assert expected > 0
+        # Tuned energy includes at least the hardware overhead.
+        assert tuned.energy_joules >= quiet.energy_joules * 0.99

@@ -1,0 +1,117 @@
+"""Tests for the two-stage (low-frequency resonance) supply model (Sec 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.config import PowerSupplyConfig
+from repro.core import CurrentSensor, ResonanceDetector
+from repro.errors import ConfigurationError
+from repro.power import waveforms
+from repro.power.lowfreq import (
+    TwoStageSupply,
+    TwoStageSupplyConfig,
+    two_stage_impedance,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return TwoStageSupplyConfig()
+
+
+class TestConfig:
+    def test_low_frequency_in_megahertz_range(self, config):
+        assert 0.5e6 < config.low_frequency_hz < 10e6
+
+    def test_period_is_thousands_of_cycles(self, config):
+        assert config.low_frequency_period_cycles > 1000
+
+    def test_band_half_periods_subsampled(self, config):
+        half_periods = list(config.low_frequency_band_half_periods())
+        assert 5 <= len(half_periods) <= 30
+        half = config.low_frequency_period_cycles // 2
+        assert half_periods[0] < half < half_periods[-1] + half_periods[1] - half_periods[0]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TwoStageSupplyConfig(offchip_resistance_ohms=0.0)
+        with pytest.raises(ConfigurationError):
+            TwoStageSupplyConfig(bulk_capacitance_farads=-1.0)
+
+
+class TestImpedance:
+    def test_two_peaks(self, config):
+        frequencies = np.logspace(5.0, 8.5, 1200)
+        impedance = two_stage_impedance(config, frequencies)
+        interior = [
+            i for i in range(1, len(frequencies) - 1)
+            if impedance[i] > impedance[i - 1] and impedance[i] > impedance[i + 1]
+        ]
+        assert len(interior) == 2
+        low_peak, mid_peak = sorted(frequencies[i] for i in interior)
+        assert low_peak == pytest.approx(config.low_frequency_hz, rel=0.25)
+        assert mid_peak == pytest.approx(100e6, rel=0.2)
+
+    def test_low_peak_smaller_than_medium_peak(self, config):
+        """Section 2.2: the low-frequency peak is 'fairly small' today."""
+        frequencies = np.logspace(5.0, 8.5, 1200)
+        impedance = two_stage_impedance(config, frequencies)
+        split = np.searchsorted(frequencies, 2e7)
+        assert np.max(impedance[:split]) < np.max(impedance[split:])
+
+
+class TestTwoStageSupply:
+    def test_constant_current_is_quiet(self, config):
+        supply = TwoStageSupply(config, initial_current=80.0)
+        voltages = supply.run(waveforms.constant(5000, 80.0))
+        assert np.max(np.abs(voltages)) < 1e-6
+        assert supply.violation_cycles == 0
+
+    def test_low_band_excitation_violates(self, config):
+        period = config.low_frequency_period_cycles
+        wave = waveforms.square_wave(12 * period, period, 70.0, mean=70.0)
+        supply = TwoStageSupply(config, initial_current=70.0)
+        supply.run(wave)
+        assert supply.violation_cycles > 0
+
+    def test_small_low_band_excitation_absorbed(self, config):
+        period = config.low_frequency_period_cycles
+        wave = waveforms.square_wave(12 * period, period, 25.0, mean=70.0)
+        supply = TwoStageSupply(config, initial_current=70.0)
+        supply.run(wave)
+        assert supply.violation_cycles == 0
+
+    def test_medium_band_still_violates(self, config):
+        wave = waveforms.square_wave(3000, 100, 50.0, mean=70.0)
+        supply = TwoStageSupply(config, initial_current=70.0)
+        supply.run(wave)
+        assert supply.violation_cycles > 0
+
+    def test_record_and_reset(self, config):
+        supply = TwoStageSupply(config, initial_current=10.0, record=True)
+        supply.run(waveforms.constant(100, 10.0))
+        assert len(supply.voltages) == 100
+        supply.reset(20.0)
+        assert supply.cycle == 0
+        assert supply.voltages == []
+
+
+class TestLowFrequencyDetection:
+    def test_detector_counts_low_band_repetitions(self, config):
+        """Resonance tuning's detection machinery transfers directly: feed
+        the low-frequency band's half-periods and the event count climbs the
+        same way, with vastly more reaction slack (Section 2.2)."""
+        period = config.low_frequency_period_cycles
+        detector = ResonanceDetector(
+            half_periods=config.low_frequency_band_half_periods(),
+            threshold_amps=26.0,
+            max_repetition_tolerance=4,
+        )
+        sensor = CurrentSensor()
+        wave = waveforms.square_wave(6 * period, period, 60.0, mean=70.0)
+        max_count = 0
+        for cycle, current in enumerate(wave):
+            event = detector.observe(cycle, sensor.read(current))
+            if event is not None:
+                max_count = max(max_count, event.count)
+        assert max_count >= 3

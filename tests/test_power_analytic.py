@@ -1,0 +1,104 @@
+"""Cross-validation: closed-form circuit solutions vs the Heun integrator."""
+
+import numpy as np
+import pytest
+
+from repro.config import PowerSupplyConfig, TABLE1_SUPPLY
+from repro.errors import CircuitError
+from repro.power import PowerSupply, RLCAnalysis, waveforms
+from repro.power.analytic import (
+    ring_amplitude_after,
+    sine_steady_state_amplitude,
+    step_response,
+    step_response_peak,
+    sustained_square_violation_amplitude,
+)
+from repro.power.calibration import resonant_current_variation_threshold
+
+
+class TestStepResponse:
+    def test_matches_heun_simulation(self):
+        delta = 40.0
+        n_cycles = 400
+        wave = waveforms.step(n_cycles, before=0.0, after=delta, at_cycle=0)
+        simulated = PowerSupply(TABLE1_SUPPLY).run(wave)
+        t = (np.arange(n_cycles) + 1) * TABLE1_SUPPLY.cycle_seconds
+        exact = step_response(TABLE1_SUPPLY, delta, t)
+        # Heun at one step per cycle tracks the exact solution closely.
+        assert np.max(np.abs(simulated - exact)) < 0.02 * np.max(np.abs(exact))
+
+    def test_peak_scales_linearly(self):
+        peak_20 = step_response_peak(TABLE1_SUPPLY, 20.0)
+        peak_40 = step_response_peak(TABLE1_SUPPLY, 40.0)
+        assert peak_40 == pytest.approx(2.0 * peak_20, rel=1e-6)
+
+    def test_peak_predicts_isolated_step_safety(self):
+        """Steps below the margin-derived size never violate, as Section 2's
+        'isolated variations do not build up' observation requires."""
+        margin = TABLE1_SUPPLY.noise_margin_volts
+        peak_per_amp = step_response_peak(TABLE1_SUPPLY, 1.0)
+        safe_step = 0.9 * margin / peak_per_amp
+        wave = waveforms.step(600, before=0.0, after=safe_step, at_cycle=10)
+        supply = PowerSupply(TABLE1_SUPPLY)
+        supply.run(wave)
+        assert supply.violation_cycles == 0
+
+    def test_overdamped_rejected(self):
+        config = PowerSupplyConfig(
+            resistance_ohms=1.0, inductance_henries=1e-12,
+            capacitance_farads=1e-6,
+        )
+        with pytest.raises(CircuitError):
+            step_response(config, 1.0, np.array([0.0]))
+
+
+class TestSineSteadyState:
+    @pytest.mark.parametrize("period_cycles", [50, 100, 200])
+    def test_matches_heun_simulation(self, period_cycles):
+        amplitude_pp = 20.0
+        frequency = TABLE1_SUPPLY.clock_hz / period_cycles
+        exact = sine_steady_state_amplitude(TABLE1_SUPPLY, frequency, amplitude_pp)
+        wave = waveforms.sine_wave(40 * period_cycles, period_cycles,
+                                   amplitude_pp, mean=0.0)
+        supply = PowerSupply(TABLE1_SUPPLY)
+        voltages = supply.run(wave)
+        settled = voltages[len(voltages) // 2 :]
+        assert np.max(np.abs(settled)) == pytest.approx(exact, rel=0.05)
+
+    def test_dc_reports_nothing(self):
+        amplitude = sine_steady_state_amplitude(TABLE1_SUPPLY, 1e3, 10.0)
+        assert amplitude < 1e-5
+
+    def test_resonance_dominates(self):
+        analysis = RLCAnalysis(TABLE1_SUPPLY)
+        f0 = analysis.resonant_frequency_hz
+        at_resonance = sine_steady_state_amplitude(TABLE1_SUPPLY, f0, 10.0)
+        off_resonance = sine_steady_state_amplitude(TABLE1_SUPPLY, f0 / 5, 10.0)
+        assert at_resonance > 4 * off_resonance
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(CircuitError):
+            sine_steady_state_amplitude(TABLE1_SUPPLY, 0.0, 1.0)
+
+
+class TestThresholdEstimate:
+    def test_analytic_threshold_tracks_calibration(self):
+        """The fundamental-only analysis slightly underestimates the
+        simulated square-wave threshold (harmonics are absorbed)."""
+        analytic = sustained_square_violation_amplitude(TABLE1_SUPPLY)
+        simulated = resonant_current_variation_threshold(TABLE1_SUPPLY)
+        assert analytic == pytest.approx(simulated, rel=0.15)
+        assert analytic <= simulated + 1.0
+
+
+class TestRingDecay:
+    def test_decay_matches_dissipation_per_period(self):
+        analysis = RLCAnalysis(TABLE1_SUPPLY)
+        period = analysis.resonant_period_cycles
+        remaining = ring_amplitude_after(TABLE1_SUPPLY, 1.0, period)
+        assert remaining == pytest.approx(
+            analysis.amplitude_decay_per_period, rel=1e-2
+        )
+
+    def test_zero_cycles_is_identity(self):
+        assert ring_amplitude_after(TABLE1_SUPPLY, 0.042, 0) == pytest.approx(0.042)

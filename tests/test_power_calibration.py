@@ -1,0 +1,107 @@
+"""Tests for the Section 2.1.3 calibration procedure."""
+
+import pytest
+
+from repro.config import TABLE1_SUPPLY
+from repro.errors import CalibrationError
+from repro.power import (
+    RLCAnalysis,
+    calibrate,
+    max_repetition_tolerance,
+    max_tolerable_variation,
+    quiet_cycles_for_event_decay,
+    resonant_current_variation_threshold,
+    sustained_wave_violates,
+)
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return RLCAnalysis(TABLE1_SUPPLY)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return calibrate(TABLE1_SUPPLY)
+
+
+class TestThreshold:
+    def test_threshold_in_plausible_range(self, result):
+        """Paper Table 1 states 32 A; our Heun square-wave procedure lands in
+        the mid-20s to mid-30s for the same circuit."""
+        assert 20.0 <= result.threshold_amps <= 40.0
+
+    def test_threshold_never_violates_when_sustained(self, analysis, result):
+        assert not sustained_wave_violates(
+            TABLE1_SUPPLY,
+            analysis.resonant_frequency_hz,
+            result.threshold_amps,
+        )
+
+    def test_just_above_threshold_violates(self, analysis, result):
+        assert sustained_wave_violates(
+            TABLE1_SUPPLY,
+            analysis.resonant_frequency_hz,
+            result.threshold_amps + 2.0,
+        )
+
+    def test_band_edges_tolerate_more_than_centre(self, analysis, result):
+        """The paper's example tolerates 13 A at the edges vs 10 A inside."""
+        assert result.band_edge_tolerable_amps >= result.threshold_amps
+
+    def test_far_off_band_tolerates_much_more(self, analysis, result):
+        off_band = max_tolerable_variation(TABLE1_SUPPLY, 20e6)
+        assert off_band > 2.0 * result.threshold_amps
+
+
+class TestRepetitionTolerance:
+    def test_tolerance_matches_paper_scale(self, result):
+        """Paper Table 1: 4 half-waves; we accept the same small-integer scale."""
+        assert 3 <= result.max_repetition_tolerance <= 6
+
+    def test_larger_amplitude_needs_fewer_repetitions(self, analysis, result):
+        few = max_repetition_tolerance(
+            TABLE1_SUPPLY, 2.0 * result.band_edge_tolerable_amps
+        )
+        many = max_repetition_tolerance(
+            TABLE1_SUPPLY, 1.05 * result.threshold_amps
+        )
+        assert few <= many
+
+    def test_below_threshold_never_violates(self, result):
+        with pytest.raises(CalibrationError):
+            max_repetition_tolerance(
+                TABLE1_SUPPLY, 0.8 * result.threshold_amps, max_half_waves=32
+            )
+
+    def test_tolerance_counts_half_waves(self, analysis, result):
+        """At minimum two half-waves (one full period) should be required for
+        amplitudes near the threshold."""
+        tolerance = max_repetition_tolerance(
+            TABLE1_SUPPLY, 1.05 * result.threshold_amps
+        )
+        assert tolerance >= 2
+
+
+class TestSecondLevelTime:
+    def test_quiet_cycles_positive_and_subperiod(self, analysis, result):
+        cycles = quiet_cycles_for_event_decay(
+            TABLE1_SUPPLY, result.max_repetition_tolerance
+        )
+        assert 0 < cycles < analysis.resonant_period_cycles
+
+    def test_rejects_tiny_tolerance(self):
+        with pytest.raises(CalibrationError):
+            quiet_cycles_for_event_decay(TABLE1_SUPPLY, 1)
+
+
+class TestCalibrateBundle:
+    def test_band_fields_match_analysis(self, analysis, result):
+        band = analysis.band
+        assert result.band_min_period_cycles == band.min_period_cycles
+        assert result.band_max_period_cycles == band.max_period_cycles
+        assert result.resonant_period_cycles == analysis.resonant_period_cycles
+
+    def test_bad_bisection_tolerance_rejected(self):
+        with pytest.raises(CalibrationError):
+            max_tolerable_variation(TABLE1_SUPPLY, 100e6, tolerance_amps=0.0)

@@ -1,0 +1,176 @@
+"""Unit tests for repro.power.rlc against the paper's stated values."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    PowerSupplyConfig,
+    SECTION2_SUPPLY,
+    TABLE1_SUPPLY,
+)
+from repro.errors import CircuitError
+from repro.power.rlc import RLCAnalysis, impedance_sweep
+
+
+@pytest.fixture
+def table1():
+    return RLCAnalysis(TABLE1_SUPPLY)
+
+
+@pytest.fixture
+def section2():
+    return RLCAnalysis(SECTION2_SUPPLY)
+
+
+class TestResonantFrequency:
+    def test_table1_resonates_at_100mhz(self, table1):
+        assert table1.resonant_frequency_hz == pytest.approx(100e6, rel=0.01)
+
+    def test_table1_period_is_100_cycles(self, table1):
+        assert table1.resonant_period_cycles == 100
+
+    def test_section2_example_near_100mhz(self, section2):
+        assert section2.resonant_frequency_hz == pytest.approx(100e6, rel=0.02)
+
+    def test_formula_matches_definition(self, table1):
+        config = table1.config
+        expected = 1.0 / (
+            2.0
+            * math.pi
+            * math.sqrt(config.inductance_henries * config.capacitance_farads)
+        )
+        assert table1.resonant_frequency_hz == pytest.approx(expected)
+
+
+class TestDamping:
+    def test_table1_is_underdamped(self, table1):
+        assert table1.is_underdamped
+
+    def test_overdamped_circuit_detected(self):
+        config = PowerSupplyConfig(
+            resistance_ohms=1.0,
+            inductance_henries=1e-12,
+            capacitance_farads=1e-6,
+        )
+        analysis = RLCAnalysis(config)
+        assert not analysis.is_underdamped
+
+    def test_overdamped_band_raises(self):
+        config = PowerSupplyConfig(
+            resistance_ohms=1.0,
+            inductance_henries=1e-12,
+            capacitance_farads=1e-6,
+        )
+        with pytest.raises(CircuitError):
+            _ = RLCAnalysis(config).band
+
+    def test_damping_rate_equals_paper_formula(self, table1):
+        """Paper: damping rate is f*pi/Q nepers/second."""
+        expected = table1.resonant_frequency_hz * math.pi / table1.quality_factor
+        assert table1.damping_coefficient == pytest.approx(expected, rel=1e-9)
+
+    def test_table1_dissipates_about_66_percent_per_period(self, table1):
+        assert table1.dissipation_per_period == pytest.approx(0.66, abs=0.02)
+
+    def test_section2_dissipates_about_40_percent_per_period(self, section2):
+        assert section2.dissipation_per_period == pytest.approx(0.40, abs=0.02)
+
+    def test_damped_frequency_below_natural(self, table1):
+        assert table1.damped_angular_frequency < table1.natural_angular_frequency
+
+    def test_decay_cycles_monotone_in_fraction(self, table1):
+        assert table1.decay_cycles(0.9) < table1.decay_cycles(0.5)
+
+    def test_decay_cycles_rejects_bad_fraction(self, table1):
+        with pytest.raises(CircuitError):
+            table1.decay_cycles(1.5)
+
+
+class TestQualityFactorAndBand:
+    def test_table1_q_is_2_83(self, table1):
+        assert table1.quality_factor == pytest.approx(2.83, abs=0.01)
+
+    def test_table1_band_84_to_119_cycles(self, table1):
+        band = table1.band
+        assert band.min_period_cycles == 84
+        assert band.max_period_cycles == 119
+
+    def test_table1_band_frequencies_match_paper(self, table1):
+        band = table1.band
+        assert band.low_hz == pytest.approx(83.9e6, rel=0.01)
+        assert band.high_hz == pytest.approx(119e6, rel=0.01)
+
+    def test_section2_band_is_92_to_108mhz(self, section2):
+        band = section2.band
+        assert band.low_hz == pytest.approx(92e6, rel=0.02)
+        assert band.high_hz == pytest.approx(108e6, rel=0.02)
+
+    def test_band_contains_resonant_frequency(self, table1):
+        assert table1.band.contains_hz(table1.resonant_frequency_hz)
+        assert table1.band.contains_period(table1.resonant_period_cycles)
+
+    def test_band_excludes_far_frequencies(self, table1):
+        assert not table1.band.contains_hz(10e6)
+        assert not table1.band.contains_hz(1e9)
+        assert not table1.band.contains_period(20)
+        assert not table1.band.contains_period(500)
+
+    def test_half_periods_cover_band(self, table1):
+        half_periods = table1.band.half_periods
+        assert half_periods[0] == 42
+        assert half_periods[-1] == 59
+
+    def test_bandwidth_is_f0_over_q(self, table1):
+        expected = table1.resonant_frequency_hz / table1.quality_factor
+        assert table1.bandwidth_hz == pytest.approx(expected)
+
+
+class TestImpedance:
+    def test_peaks_near_resonant_frequency(self, table1):
+        frequencies, z = impedance_sweep(TABLE1_SUPPLY, 40e6, 200e6, points=801)
+        peak_freq = frequencies[int(np.argmax(z))]
+        assert peak_freq == pytest.approx(table1.resonant_frequency_hz, rel=0.05)
+
+    def test_band_edges_near_half_power(self, table1):
+        band = table1.band
+        z_peak = float(np.max(impedance_sweep(TABLE1_SUPPLY, 40e6, 200e6, 2001)[1]))
+        z_edge = table1.impedance_ohms(band.low_hz)
+        # Half power = 1/sqrt(2) of peak impedance.
+        assert z_edge == pytest.approx(z_peak / math.sqrt(2.0), rel=0.08)
+
+    def test_low_and_high_frequencies_absorbed(self, table1):
+        f0 = table1.resonant_frequency_hz
+        z0 = table1.impedance_ohms(f0)
+        assert table1.impedance_ohms(f0 / 20) < 0.2 * z0
+        assert table1.impedance_ohms(f0 * 20) < 0.2 * z0
+
+    def test_scalar_and_array_agree(self, table1):
+        z_scalar = table1.impedance_ohms(100e6)
+        z_array = table1.impedance_ohms(np.array([100e6]))
+        assert z_scalar == pytest.approx(float(z_array[0]))
+
+    def test_dc_impedance_is_resistance(self, table1):
+        assert table1.impedance_ohms(0.0) == pytest.approx(
+            TABLE1_SUPPLY.resistance_ohms
+        )
+
+    def test_sweep_rejects_bad_range(self):
+        with pytest.raises(CircuitError):
+            impedance_sweep(TABLE1_SUPPLY, 200e6, 40e6)
+
+    def test_peak_impedance_approximation(self, table1):
+        z_measured = float(
+            np.max(impedance_sweep(TABLE1_SUPPLY, 40e6, 200e6, 2001)[1])
+        )
+        assert table1.peak_impedance_ohms == pytest.approx(z_measured, rel=0.10)
+
+
+class TestSummary:
+    def test_summary_keys_and_consistency(self, table1):
+        summary = table1.summary()
+        assert summary["resonant_period_cycles"] == 100
+        assert summary["band_min_period_cycles"] == 84
+        assert summary["band_max_period_cycles"] == 119
+        assert summary["is_underdamped"] is True

@@ -1,0 +1,190 @@
+"""Tests for the Heun integrator and the cycle-level power supply."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import PowerSupplyConfig, TABLE1_SUPPLY
+from repro.errors import ConfigurationError
+from repro.power import HeunIntegrator, PowerSupply, RLCAnalysis, waveforms
+
+
+class TestHeunIntegrator:
+    def test_steady_state_is_stable(self):
+        integrator = HeunIntegrator(TABLE1_SUPPLY)
+        integrator.reset(70.0)
+        for _ in range(1000):
+            integrator.step(70.0)
+        # Raw voltage holds at the IR droop with no drift.
+        expected = -TABLE1_SUPPLY.resistance_ohms * 70.0
+        assert integrator.state.voltage == pytest.approx(expected, rel=1e-6)
+        assert integrator.state.inductor_current == pytest.approx(70.0, rel=1e-6)
+
+    def test_step_response_rings_at_damped_frequency(self):
+        integrator = HeunIntegrator(TABLE1_SUPPLY, substeps=4)
+        integrator.reset(0.0)
+        voltages = [integrator.step(20.0) for _ in range(400)]
+        analysis = RLCAnalysis(TABLE1_SUPPLY)
+        # Zero crossings of the ring should be half a damped period apart.
+        centred = np.asarray(voltages) + TABLE1_SUPPLY.resistance_ohms * 20.0
+        signs = np.sign(centred)
+        crossings = np.where(np.diff(signs) != 0)[0]
+        assert len(crossings) >= 3
+        half_period = np.mean(np.diff(crossings[:4]))
+        expected = math.pi / analysis.damped_angular_frequency
+        expected_cycles = expected * TABLE1_SUPPLY.clock_hz
+        assert half_period == pytest.approx(expected_cycles, rel=0.06)
+
+    def test_ring_decays_at_damping_rate(self):
+        integrator = HeunIntegrator(TABLE1_SUPPLY)
+        integrator.reset(0.0)
+        voltages = np.asarray([integrator.step(40.0) for _ in range(500)])
+        centred = voltages + TABLE1_SUPPLY.resistance_ohms * 40.0
+        analysis = RLCAnalysis(TABLE1_SUPPLY)
+        period = analysis.resonant_period_cycles
+        peak1 = np.max(np.abs(centred[:period]))
+        peak2 = np.max(np.abs(centred[period : 2 * period]))
+        assert peak2 / peak1 == pytest.approx(
+            analysis.amplitude_decay_per_period, rel=0.12
+        )
+
+    def test_substeps_converge(self):
+        coarse = HeunIntegrator(TABLE1_SUPPLY, substeps=1)
+        fine = HeunIntegrator(TABLE1_SUPPLY, substeps=8)
+        for integrator in (coarse, fine):
+            integrator.reset(0.0)
+        for _ in range(300):
+            v1 = coarse.step(30.0)
+            v2 = fine.step(30.0)
+        assert v1 == pytest.approx(v2, abs=2e-4)
+
+    def test_rejects_bad_substeps(self):
+        with pytest.raises(ConfigurationError):
+            HeunIntegrator(TABLE1_SUPPLY, substeps=0)
+
+
+class TestPowerSupply:
+    def test_constant_current_reports_zero_deviation(self):
+        supply = PowerSupply(TABLE1_SUPPLY, initial_current=105.0)
+        voltages = supply.run(waveforms.constant(500, 105.0))
+        assert np.max(np.abs(voltages)) < 1e-9
+        assert supply.violation_cycles == 0
+
+    def test_ir_drop_is_subtracted(self):
+        """A large constant current must not register as noise (Section 4.1)."""
+        supply = PowerSupply(TABLE1_SUPPLY, initial_current=0.0)
+        # Without IR correction a 105 A step would settle at -39 mV.
+        supply.run(waveforms.constant(3000, 105.0))
+        assert abs(supply.last_voltage) < 1e-3
+
+    def test_resonant_square_wave_violates(self):
+        analysis = RLCAnalysis(TABLE1_SUPPLY)
+        wave = waveforms.square_wave(
+            2000, analysis.resonant_period_cycles, amplitude_pp=50.0, mean=70.0
+        )
+        supply = PowerSupply(TABLE1_SUPPLY, initial_current=70.0)
+        supply.run(wave)
+        assert supply.violation_cycles > 0
+
+    def test_same_amplitude_off_band_is_absorbed(self):
+        """Key observation 1: variations outside the band are absorbed."""
+        wave = waveforms.square_wave(2000, 10, amplitude_pp=50.0, mean=70.0)
+        supply = PowerSupply(TABLE1_SUPPLY, initial_current=70.0)
+        supply.run(wave)
+        assert supply.violation_cycles == 0
+
+    def test_low_frequency_square_wave_absorbed(self):
+        wave = waveforms.square_wave(4000, 1500, amplitude_pp=60.0, mean=70.0)
+        supply = PowerSupply(TABLE1_SUPPLY, initial_current=70.0)
+        supply.run(wave)
+        assert supply.violation_cycles == 0
+
+    def test_violation_counters(self):
+        analysis = RLCAnalysis(TABLE1_SUPPLY)
+        wave = waveforms.square_wave(
+            1500, analysis.resonant_period_cycles, amplitude_pp=60.0, mean=0.0
+        )
+        supply = PowerSupply(TABLE1_SUPPLY)
+        supply.run(wave)
+        assert supply.violation_events >= 1
+        assert 0 < supply.violation_fraction < 1
+        assert supply.first_violation_cycle is not None
+
+    def test_trace_recording(self):
+        supply = PowerSupply(TABLE1_SUPPLY, record=True)
+        supply.run(waveforms.constant(50, 10.0))
+        currents, voltages, violations = supply.trace.as_arrays()
+        assert len(currents) == len(voltages) == len(violations) == 50
+        assert np.all(currents == 10.0)
+
+    def test_reset_clears_state(self):
+        supply = PowerSupply(TABLE1_SUPPLY, record=True)
+        analysis = RLCAnalysis(TABLE1_SUPPLY)
+        supply.run(
+            waveforms.square_wave(
+                1500, analysis.resonant_period_cycles, 60.0, mean=0.0
+            )
+        )
+        assert supply.violation_cycles > 0
+        supply.reset(70.0)
+        assert supply.cycle == 0
+        assert supply.violation_cycles == 0
+        assert supply.first_violation_cycle is None
+        assert supply.trace.currents == []
+
+    def test_violation_fraction_zero_before_run(self):
+        supply = PowerSupply(TABLE1_SUPPLY)
+        assert supply.violation_fraction == 0.0
+
+
+class TestWaveforms:
+    def test_square_wave_levels(self):
+        wave = waveforms.square_wave(100, 10, amplitude_pp=20.0, mean=50.0)
+        assert set(np.unique(wave)) == {40.0, 60.0}
+
+    def test_square_wave_window(self):
+        wave = waveforms.square_wave(
+            100, 10, amplitude_pp=20.0, mean=50.0, start=20, end=60
+        )
+        assert np.all(wave[:20] == 50.0)
+        assert np.all(wave[60:] == 50.0)
+        assert np.any(wave[20:60] != 50.0)
+
+    def test_sine_wave_bounds(self):
+        wave = waveforms.sine_wave(1000, 50, amplitude_pp=30.0, mean=70.0)
+        assert np.max(wave) == pytest.approx(85.0, abs=0.1)
+        assert np.min(wave) == pytest.approx(55.0, abs=0.1)
+
+    def test_triangle_wave_mean(self):
+        wave = waveforms.triangle_wave(1000, 50, amplitude_pp=30.0, mean=70.0)
+        assert np.mean(wave) == pytest.approx(70.0, abs=0.5)
+
+    def test_step_waveform(self):
+        wave = waveforms.step(100, before=35.0, after=105.0, at_cycle=40)
+        assert np.all(wave[:40] == 35.0)
+        assert np.all(wave[40:] == 105.0)
+
+    def test_burst_half_wave_count(self):
+        wave = waveforms.burst(
+            1000, 100, amplitude_pp=20.0, mean=0.0, start=100, half_waves=3
+        )
+        active = np.nonzero(wave != 0.0)[0]
+        assert active[0] == 100
+        assert active[-1] == 100 + 3 * 50 - 1
+
+    def test_chirp_length(self):
+        wave = waveforms.chirp(500, 80, 120, amplitude_pp=10.0)
+        assert len(wave) == 500
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            waveforms.square_wave(0, 10, 1.0)
+        with pytest.raises(ConfigurationError):
+            waveforms.square_wave(10, 1, 1.0)
+        with pytest.raises(ConfigurationError):
+            waveforms.step(10, 0.0, 1.0, at_cycle=50)
+        with pytest.raises(ConfigurationError):
+            waveforms.burst(100, 10, 1.0, 0.0, start=0, half_waves=0)
+        with pytest.raises(ConfigurationError):
+            waveforms.square_wave(100, 10, 1.0, start=50, end=10)

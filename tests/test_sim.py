@@ -1,0 +1,210 @@
+"""Tests for the simulation loop, metrics and batch runner."""
+
+import pytest
+
+from repro.config import TABLE1_PROCESSOR, TABLE1_SUPPLY
+from repro.core import NullController, ResonanceTuningController
+from repro.errors import SimulationError
+from repro.power import PowerSupply
+from repro.sim import (
+    BenchmarkRunner,
+    Simulation,
+    SimulationResult,
+    SweepConfig,
+    summarize,
+)
+from repro.uarch import Processor, SPEC2K, WorkloadProfile
+
+
+def build_simulation(name="gzip", record=False, warmup=0, controller=None):
+    processor = Processor.from_profile(
+        SPEC2K[name], n_instructions=60_000,
+        config=TABLE1_PROCESSOR, supply_config=TABLE1_SUPPLY,
+    )
+    supply = PowerSupply(TABLE1_SUPPLY, initial_current=35.0)
+    return Simulation(
+        processor, supply, controller, record=record,
+        benchmark=name, warmup_cycles=warmup,
+    )
+
+
+class TestSimulation:
+    def test_basic_run_produces_result(self):
+        result = build_simulation().run(2000)
+        assert result.cycles == 2000
+        assert result.instructions > 0
+        assert result.energy_joules > 0
+        assert 0 < result.ipc < 8
+
+    def test_record_collects_traces(self):
+        simulation = build_simulation(record=True)
+        simulation.run(500)
+        assert len(simulation.currents) == 500
+        assert len(simulation.voltages) == 500
+
+    def test_warmup_excluded_from_stats(self):
+        with_warmup = build_simulation(warmup=1000).run(2000)
+        assert with_warmup.cycles == 2000
+        # IPC should be steady-state, similar to a longer plain run's tail.
+        plain = build_simulation().run(3000)
+        assert with_warmup.ipc == pytest.approx(plain.ipc, rel=0.1)
+
+    def test_warmup_recorded_traces_exclude_warmup(self):
+        simulation = build_simulation(record=True, warmup=300)
+        simulation.run(200)
+        assert len(simulation.currents) == 200
+
+    def test_runs_exactly_once(self):
+        simulation = build_simulation()
+        simulation.run(100)
+        with pytest.raises(SimulationError):
+            simulation.run(100)
+
+    def test_rejects_bad_cycle_counts(self):
+        with pytest.raises(SimulationError):
+            build_simulation().run(0)
+        with pytest.raises(SimulationError):
+            build_simulation(warmup=-1)
+
+    def test_controller_identity_recorded(self):
+        result = build_simulation(
+            controller=NullController()
+        ).run(100)
+        assert result.technique == "base"
+
+
+class TestMetrics:
+    def make_result(self, **kwargs):
+        defaults = dict(
+            benchmark="x", technique="t", cycles=1000, instructions=2000,
+            energy_joules=1e-6, phantom_energy_joules=0.0,
+            violation_cycles=10, violation_events=2,
+        )
+        defaults.update(kwargs)
+        return SimulationResult(**defaults)
+
+    def test_derived_properties(self):
+        result = self.make_result()
+        assert result.ipc == 2.0
+        assert result.violation_fraction == 0.01
+        assert result.energy_per_instruction == pytest.approx(5e-10)
+
+    def test_relative_metrics(self):
+        base = self.make_result()
+        slower = self.make_result(
+            technique="slow", instructions=1000, energy_joules=1e-6
+        )
+        relative = slower.relative_to(base)
+        assert relative.slowdown == pytest.approx(2.0)
+        assert relative.energy == pytest.approx(2.0)
+        assert relative.energy_delay == pytest.approx(4.0)
+
+    def test_relative_requires_same_benchmark(self):
+        base = self.make_result()
+        other = self.make_result(benchmark="y")
+        with pytest.raises(SimulationError):
+            other.relative_to(base)
+
+    def test_zero_instruction_guard(self):
+        result = self.make_result(instructions=0)
+        with pytest.raises(SimulationError):
+            _ = result.energy_per_instruction
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return BenchmarkRunner(SweepConfig(n_cycles=5_000, warmup_cycles=500))
+
+    def test_base_runs_are_cached(self, runner):
+        first = runner.run_base("gzip")
+        second = runner.run_base("gzip")
+        assert first is second
+
+    def test_compare_produces_relative_metrics(self, runner):
+        metrics = runner.compare(
+            "gzip", lambda s, p: ResonanceTuningController(s, p)
+        )
+        assert metrics.benchmark == "gzip"
+        assert metrics.slowdown >= 0.9
+
+    def test_sweep_aggregates(self, runner):
+        seen = []
+        summary = runner.sweep(
+            lambda s, p: ResonanceTuningController(s, p),
+            benchmarks=["gzip", "vpr"],
+            progress=lambda name, metrics: seen.append(name),
+        )
+        assert seen == ["gzip", "vpr"]
+        assert len(summary.per_benchmark) == 2
+        assert summary.avg_slowdown >= 0.9
+        assert summary.worst_benchmark in ("gzip", "vpr")
+
+    def test_summarize_counts_over_15_percent(self):
+        from repro.sim.metrics import RelativeMetrics
+
+        rows = [
+            RelativeMetrics("a", "t", 1.20, 1.0, 1.2, 0, 0),
+            RelativeMetrics("b", "t", 1.05, 1.0, 1.05, 0, 0),
+        ]
+        summary = summarize(rows)
+        assert summary.apps_over_15_percent == 1
+        assert summary.worst_benchmark == "a"
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestSeedStatistics:
+    def test_compare_seeds_aggregates(self):
+        runner = BenchmarkRunner(SweepConfig(n_cycles=4_000, warmup_cycles=500))
+        stats = runner.compare_seeds(
+            "gzip",
+            lambda s, p: ResonanceTuningController(s, p),
+            n_seeds=2,
+        )
+        assert stats.n_seeds == 2
+        assert len(stats.runs) == 2
+        assert stats.mean_slowdown >= 0.9
+        assert stats.std_slowdown >= 0.0
+        # Different seeds generate different traces (stats rarely identical).
+        assert stats.runs[0].slowdown != stats.runs[1].slowdown
+
+    def test_compare_seeds_rejects_zero(self):
+        runner = BenchmarkRunner(SweepConfig(n_cycles=2_000))
+        with pytest.raises(ValueError):
+            runner.compare_seeds("gzip", lambda s, p: NullController(), 0)
+
+    def test_base_cache_keyed_by_seed(self):
+        runner = BenchmarkRunner(SweepConfig(n_cycles=2_000, warmup_cycles=200))
+        a = runner.run_base("gzip")
+        b = runner.run_base("gzip", seed=123)
+        assert a is not b
+        assert a is runner.run_base("gzip")
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_results(self):
+        def run():
+            runner = BenchmarkRunner(
+                SweepConfig(n_cycles=5_000, warmup_cycles=500)
+            )
+            return runner.compare(
+                "swim", lambda s, p: ResonanceTuningController(s, p)
+            )
+
+        a = run()
+        b = run()
+        assert a.slowdown == b.slowdown
+        assert a.energy == b.energy
+        assert a.violation_fraction == b.violation_fraction
+        assert a.first_level_fraction == b.first_level_fraction
+
+    def test_recorded_traces_are_reproducible(self):
+        def currents():
+            simulation = build_simulation("parser", record=True)
+            simulation.run(1_000)
+            return simulation.currents
+
+        assert currents() == currents()

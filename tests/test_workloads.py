@@ -1,0 +1,135 @@
+"""Envelope tests for the 26 SPEC2K workload profiles.
+
+These pin the tuned behaviour: every profile must stay a valid
+configuration, IPCs must stay in their fitted envelopes, and the
+violating / non-violating split of Table 2 must emerge on the Table 1
+supply.  Full-length classification runs live in the Table 2 benchmark;
+here we spot-check representatives to keep the suite fast.
+"""
+
+import pytest
+
+from repro.config import TABLE1_PROCESSOR, TABLE1_SUPPLY
+from repro.errors import ConfigurationError
+from repro.power import PowerSupply
+from repro.uarch import (
+    NON_VIOLATING_NAMES,
+    PAPER_IPC,
+    Processor,
+    SPEC2K,
+    VIOLATING_NAMES,
+    profile_by_name,
+)
+
+
+def run_base(name, n_cycles, record_current=False):
+    processor = Processor.from_profile(
+        SPEC2K[name],
+        n_instructions=max(20_000, int(n_cycles * 4.5)),
+        config=TABLE1_PROCESSOR,
+        supply_config=TABLE1_SUPPLY,
+    )
+    supply = PowerSupply(
+        TABLE1_SUPPLY, initial_current=TABLE1_PROCESSOR.min_current_amps
+    )
+    currents = [] if record_current else None
+    for _ in range(n_cycles):
+        stats = processor.step()
+        supply.step(stats.current_amps)
+        if record_current:
+            currents.append(stats.current_amps)
+    return processor, supply, currents
+
+
+class TestCatalogue:
+    def test_has_all_26_benchmarks(self):
+        assert len(SPEC2K) == 26
+        assert set(SPEC2K) == set(PAPER_IPC)
+
+    def test_split_matches_table2(self):
+        assert len(VIOLATING_NAMES) == 12
+        assert len(NON_VIOLATING_NAMES) == 14
+        assert set(VIOLATING_NAMES) | set(NON_VIOLATING_NAMES) == set(SPEC2K)
+
+    def test_lookup_by_name(self):
+        assert profile_by_name("parser").name == "parser"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_by_name("doom3")
+
+    def test_all_profiles_validate(self):
+        for profile in SPEC2K.values():
+            assert profile.name
+
+    def test_violating_profiles_oscillate_in_band_shape(self):
+        """Violating profiles must carry episode structure (the mechanism)."""
+        for name in VIOLATING_NAMES:
+            profile = SPEC2K[name]
+            assert profile.osc_kind != "none"
+            assert profile.osc_boost_ilp
+
+
+class TestEmergentBehaviour:
+    @pytest.mark.parametrize("name", ["parser", "swim", "mcf", "fma3d", "gzip"])
+    def test_ipc_tracks_paper_ordering(self, name):
+        processor, _, _ = run_base(name, 15_000)
+        target = PAPER_IPC[name]
+        assert processor.ipc == pytest.approx(target, rel=0.45), (
+            f"{name}: IPC {processor.ipc:.2f} vs paper {target:.2f}"
+        )
+
+    def test_mcf_slower_than_fma3d(self):
+        mcf, _, _ = run_base("mcf", 8000)
+        fma3d, _, _ = run_base("fma3d", 8000)
+        assert mcf.ipc < 0.3 * fma3d.ipc
+
+    @pytest.mark.parametrize("name", ["swim", "lucas", "bzip"])
+    def test_strong_violators_violate(self, name):
+        _, supply, _ = run_base(name, 40_000)
+        assert supply.violation_cycles > 0, f"{name} should violate"
+
+    @pytest.mark.parametrize("name", ["fma3d", "gzip", "eon", "ammp", "perlbmk"])
+    def test_non_violators_stay_clean(self, name):
+        _, supply, _ = run_base(name, 40_000)
+        assert supply.violation_fraction <= 1e-4, f"{name} should be clean"
+
+    def test_current_range_is_realistic(self):
+        _, _, currents = run_base("swim", 10_000, record_current=True)
+        config = TABLE1_PROCESSOR
+        assert min(currents) >= config.min_current_amps
+        assert max(currents) <= config.max_current_amps * 1.05
+        assert max(currents) > 0.7 * config.max_current_amps
+
+
+class TestDiagnostics:
+    def test_characterize_violating_profile(self):
+        from repro.uarch import characterize
+
+        character = characterize(SPEC2K["swim"], n_cycles=15_000)
+        assert character.name == "swim"
+        assert 1.0 < character.ipc < 4.0
+        assert character.current_low_amps >= 35.0
+        assert character.current_swing_amps > 20.0
+        assert character.violation_fraction > 0
+
+    def test_characterize_quiet_profile(self):
+        from repro.uarch import characterize
+
+        character = characterize(SPEC2K["eon"], n_cycles=10_000)
+        assert character.violation_fraction == 0.0
+
+    def test_dominant_period_of_pure_tone(self):
+        import numpy as np
+        from repro.uarch import dominant_period_cycles
+
+        t = np.arange(4096)
+        wave = 70 + 20 * np.sin(2 * np.pi * t / 100.0)
+        assert dominant_period_cycles(wave) == pytest.approx(100, rel=0.05)
+
+    def test_dominant_period_needs_samples(self):
+        from repro.errors import SimulationError
+        from repro.uarch import dominant_period_cycles
+
+        with pytest.raises(SimulationError):
+            dominant_period_cycles([1.0] * 4)

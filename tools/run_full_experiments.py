@@ -1,0 +1,14 @@
+"""Produce the paper-scale results recorded in EXPERIMENTS.md.
+
+Equivalent to `repro.experiments.persistence.run_and_save_all("results")`.
+"""
+from repro.experiments.persistence import run_and_save_all
+
+def report(name, seconds):
+    print(f"=== {name} done in {seconds:.0f}s ===", flush=True)
+
+if __name__ == "__main__":
+    written = run_and_save_all("results", progress=report)
+    for name, paths in written.items():
+        for path in paths:
+            print(" ", path)

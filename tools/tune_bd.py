@@ -1,0 +1,27 @@
+import sys
+from dataclasses import replace
+from repro.config import TABLE1_SUPPLY, TABLE1_PROCESSOR, TABLE1_TUNING
+from repro.core import ResonanceTuningController
+from repro.power import PowerSupply
+from repro.sim import Simulation
+from repro.uarch import Processor, SPEC2K
+
+def run(prof, tuned, n, seed=None):
+    proc = Processor.from_profile(prof, n_instructions=int(n*4.5),
+                                  config=TABLE1_PROCESSOR, supply_config=TABLE1_SUPPLY, seed=seed)
+    supply = PowerSupply(TABLE1_SUPPLY, initial_current=35.0)
+    ctrl = ResonanceTuningController(TABLE1_SUPPLY, TABLE1_PROCESSOR, TABLE1_TUNING) if tuned else None
+    return Simulation(proc, supply, ctrl, benchmark=prof.name, warmup_cycles=2000).run(n)
+
+jobs = {}
+for arg in sys.argv[1:]:
+    name, bds = arg.split("=")
+    jobs[name] = [int(x) for x in bds.split(",")]
+for name, bds in jobs.items():
+    base_prof = SPEC2K[name]
+    for bd in bds:
+        p = replace(base_prof, osc_boost_dep=bd)
+        b = run(p, False, 60000)
+        t1 = run(p, True, 60000)
+        t2 = run(p, True, 60000, seed=base_prof.seed+100)
+        print(f"{name:8s} bd={bd:2d}: baseViol={b.violation_fraction:.2e} tuned={t1.violation_fraction:.2e}/{t2.violation_fraction:.2e}")

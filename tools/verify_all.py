@@ -1,0 +1,25 @@
+"""Full verification: all 26 apps, base + tuned, 60k cycles."""
+import time
+from repro.config import TABLE1_SUPPLY, TABLE1_PROCESSOR, TABLE1_TUNING
+from repro.core import ResonanceTuningController
+from repro.sim import BenchmarkRunner, SweepConfig
+from repro.uarch import SPEC2K, PAPER_IPC, VIOLATING_NAMES
+
+def factory(supply, proc):
+    return ResonanceTuningController(supply, proc, TABLE1_TUNING)
+
+runner = BenchmarkRunner(SweepConfig(n_cycles=60000))
+t0 = time.time()
+bad = []
+for name in sorted(SPEC2K):
+    base = runner.run_base(name)
+    m = runner.compare(name, factory)
+    is_viol = name in VIOLATING_NAMES
+    ok_base = (base.violation_fraction > 1e-4) == is_viol
+    ok_tuned = m.violation_fraction <= 2e-5
+    flag = "" if (ok_base and ok_tuned) else "  <-- PROBLEM"
+    if flag: bad.append(name)
+    print(f"{name:9s} IPC={base.ipc:4.2f}/{PAPER_IPC[name]:4.2f} baseViol={base.violation_fraction:.2e} "
+          f"tunedViol={m.violation_fraction:.2e} slow={m.slowdown:.3f} ED={m.energy_delay:.3f} "
+          f"L1={m.first_level_fraction:.3f} L2={m.second_level_fraction:.4f}{flag}")
+print(f"\n{len(bad)} problems: {bad}  ({time.time()-t0:.0f}s)")
