@@ -30,6 +30,7 @@ from repro.errors import (
     CalibrationError,
     CircuitError,
     ConfigurationError,
+    FaultError,
     ReproError,
     SimulationError,
     TraceError,
@@ -47,6 +48,7 @@ __all__ = [
     "CalibrationError",
     "CircuitError",
     "ConfigurationError",
+    "FaultError",
     "ReproError",
     "SimulationError",
     "TraceError",

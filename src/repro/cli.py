@@ -147,9 +147,11 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    from repro.experiments.registry import run_experiment
+    from repro.experiments.registry import resilience_from_args, run_experiment
 
-    result = run_experiment(args.name, quick=args.quick)
+    result = run_experiment(
+        args.name, quick=args.quick, resilience=resilience_from_args(args)
+    )
     print(result.render())
     return 0
 
@@ -198,6 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("name", help="e.g. table3, figure5")
     experiment.add_argument("--quick", action="store_true")
+    from repro.experiments.registry import add_resilience_flags
+
+    add_resilience_flags(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     return parser

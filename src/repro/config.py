@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.errors import ConfigurationError
 
@@ -192,6 +193,10 @@ class TuningConfig:
     reduced_issue_width: int = 4
     reduced_cache_ports: int = 1
     response_delay_cycles: int = 0
+    #: watchdog bound on one second-level engagement: a stuck response (a
+    #: faulted sensor that never reports quiet) is force-released after this
+    #: many cycles; None derives 8x the second-level response time
+    second_level_watchdog_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.resonant_current_threshold_amps <= 0:
@@ -209,6 +214,13 @@ class TuningConfig:
             raise ConfigurationError("reduced widths must be positive")
         if self.response_delay_cycles < 0:
             raise ConfigurationError("response_delay_cycles must be non-negative")
+        if self.second_level_watchdog_cycles is not None:
+            if self.second_level_watchdog_cycles <= self.second_level_response_time:
+                raise ConfigurationError(
+                    "second_level_watchdog_cycles must exceed"
+                    " second_level_response_time (the watchdog must not"
+                    " pre-empt a healthy response)"
+                )
 
     @property
     def second_level_threshold(self) -> int:

@@ -23,6 +23,7 @@ stops detecting events -- nascent resonance has broken.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import List, Optional, Sequence, Tuple
@@ -30,7 +31,12 @@ from typing import List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError
 from repro.core.history import CurrentHistoryRegister, EventHistoryRegister
 
-__all__ = ["Polarity", "ResonantEvent", "ResonanceDetector"]
+__all__ = ["Polarity", "ResonantEvent", "ResonanceDetector", "COUNTER_CAP"]
+
+#: Saturation value for the detector's event counters, mirroring a 31-bit
+#: hardware counter: counts clamp here instead of growing without bound
+#: (or, in hardware, wrapping to zero and losing the engagement history).
+COUNTER_CAP = (1 << 31) - 1
 
 
 class Polarity(IntEnum):
@@ -103,6 +109,9 @@ class ResonanceDetector:
         self.register_length = register_length
         self.last_event: Optional[ResonantEvent] = None
         self.total_events = 0
+        #: non-finite sensed samples survived (saturating diagnostic counter)
+        self.nonfinite_samples = 0
+        self._last_finite_amps = 0.0
         self._cycle = -1
 
     # ------------------------------------------------------------------
@@ -112,6 +121,15 @@ class ResonanceDetector:
         Must be called exactly once per cycle with consecutive cycle numbers.
         """
         self._cycle = cycle
+        if not math.isfinite(sensed_current_amps):
+            # A NaN inside the quarter-period sums would poison every adder
+            # for a full history window; hold the last finite reading
+            # instead (the hardware analogue of ignoring a parity-failed
+            # report) and keep a saturating count of how often it happened.
+            self.nonfinite_samples = min(self.nonfinite_samples + 1, COUNTER_CAP)
+            sensed_current_amps = self._last_finite_amps
+        else:
+            self._last_finite_amps = sensed_current_amps
         history = self._current_history
         history.append(sensed_current_amps)
 
@@ -142,7 +160,7 @@ class ResonanceDetector:
             chain_cycles=tuple(chain),
         )
         self.last_event = event
-        self.total_events += 1
+        self.total_events = min(self.total_events + 1, COUNTER_CAP)
         return event
 
     def _trace_chain(self, cycle: int, polarity: Polarity) -> List[int]:

@@ -9,6 +9,7 @@ and optional peak-to-peak uniform noise for sensitivity studies.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Optional
 
@@ -51,6 +52,11 @@ class CurrentSensor:
             value += self._rng.uniform(
                 -0.5 * self.noise_pp_amps, 0.5 * self.noise_pp_amps
             )
+        if not math.isfinite(value):
+            # A faulted input cannot be quantized (round() raises on NaN or
+            # inf); pass it through so the detector's own hold-last-finite
+            # guard decides, instead of crashing inside the sensor.
+            return value
         return self.quantum_amps * round(value / self.quantum_amps)
 
     def reset(self) -> None:

@@ -17,6 +17,13 @@ until the resonant event count has decreased (Section 3.2's guarantee).
 
 An optional sensing/actuation delay shifts both responses later; Section 5.2
 shows delays up to a quarter resonant period cost little.
+
+A *watchdog* bounds each second-level engagement: the normal release needs
+the resonant event count to decrease, which a faulted sensor (stuck-at, or
+one entrained by an external resonant attacker the stall cannot quiet) may
+never report.  After ``second_level_watchdog_cycles`` of continuous hold the
+response is force-released and re-engagement locked out for one response
+time, degrading a would-be permanent stall into a bounded duty cycle.
 """
 
 from __future__ import annotations
@@ -85,11 +92,19 @@ class ResonanceTuningController(NoiseController):
         self._second_min_until = -1
         self._second_engaged_at = -1
         self._second_entry_count = 0
+        self._watchdog_lockout_until = -1
 
+        self.watchdog_hold_cycles = (
+            self.tuning.second_level_watchdog_cycles
+            if self.tuning.second_level_watchdog_cycles is not None
+            else 8 * self.tuning.second_level_response_time
+        )
         self.first_level_cycles = 0
         self.second_level_cycles = 0
         self.first_level_engagements = 0
         self.second_level_engagements = 0
+        self.watchdog_releases = 0
+        self.max_second_level_hold_cycles = 0
 
         from repro.core.overheads import estimate_overheads
 
@@ -127,6 +142,7 @@ class ResonanceTuningController(NoiseController):
     def directives(self, cycle: int) -> ControlDirectives:
         self._activate_pending(cycle)
         if self._second_active:
+            held = cycle - self._second_engaged_at
             # Release once the minimum response time has elapsed and the
             # resonant event count has effectively decreased: either the
             # chain count dropped, or the stall has kept detection quiet for
@@ -139,8 +155,20 @@ class ResonanceTuningController(NoiseController):
             count_dropped = (
                 self.detector.current_count(cycle) < self._second_entry_count
             )
-            if cycle >= self._second_min_until and (quiet or count_dropped):
-                self._second_active = False
+            if held >= self.watchdog_hold_cycles:
+                # Watchdog: the release condition has not come true within
+                # the bounded hold -- a faulted sensor can keep reporting
+                # events forever.  Force the release and lock out
+                # re-engagement for one response time so the pipeline makes
+                # progress before the (likely still-faulty) detection can
+                # stall it again.
+                self._release_second_level(held)
+                self.watchdog_releases += 1
+                self._watchdog_lockout_until = (
+                    cycle + self.tuning.second_level_response_time
+                )
+            elif cycle >= self._second_min_until and (quiet or count_dropped):
+                self._release_second_level(held)
             else:
                 self.second_level_cycles += 1
                 return self._second_directives
@@ -149,6 +177,12 @@ class ResonanceTuningController(NoiseController):
             return self._first_directives
         return NO_CONTROL
 
+    def _release_second_level(self, held_cycles: int) -> None:
+        self._second_active = False
+        self.max_second_level_hold_cycles = max(
+            self.max_second_level_hold_cycles, held_cycles
+        )
+
     def _activate_pending(self, cycle: int) -> None:
         if not self._pending:
             return
@@ -156,6 +190,8 @@ class ResonanceTuningController(NoiseController):
         for activation, level in self._pending:
             if activation > cycle:
                 remaining.append((activation, level))
+                continue
+            if level == _SECOND and cycle < self._watchdog_lockout_until:
                 continue
             if level == _SECOND and not self._second_active:
                 self._second_active = True

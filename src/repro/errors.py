@@ -29,3 +29,17 @@ class TraceError(ReproError):
 
 class SimulationError(ReproError):
     """The cycle-level simulation reached an inconsistent state."""
+
+
+class FaultError(ReproError):
+    """An injected or detected fault made a run unusable.
+
+    Raised by the fault-injection subsystem (:mod:`repro.faults`) when an
+    injected fault is configured to abort the run, by the power models when
+    a non-finite current or voltage would otherwise propagate garbage into
+    the metrics, and by the resilient runner when a sweep cell exhausts its
+    wall-clock timeout or retry budget.  Catching :class:`FaultError`
+    separates "this run was (deliberately or accidentally) broken" from
+    genuine modelling bugs (:class:`SimulationError`) and bad inputs
+    (:class:`ConfigurationError`).
+    """

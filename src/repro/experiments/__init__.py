@@ -10,6 +10,7 @@ or programmatically via :func:`repro.experiments.registry.run_experiment`.
 
 from repro.experiments import (  # noqa: F401  (re-exported submodules)
     ablations,
+    faults,
     figure1,
     figure3,
     figure4,
@@ -25,6 +26,7 @@ from repro.experiments import (  # noqa: F401  (re-exported submodules)
 
 __all__ = [
     "ablations",
+    "faults",
     "persistence",
     "figure1",
     "figure3",

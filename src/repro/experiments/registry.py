@@ -4,15 +4,23 @@
 rendered table/figure; ``--quick`` shrinks cycle counts and the benchmark
 set for a fast sanity pass.  Every table and figure in the paper's
 evaluation has an entry.
+
+Resilience flags (``--checkpoint``, ``--resume``, ``--max-retries``,
+``--timeout-s``) build a :class:`~repro.sim.runner.ResilienceConfig` that
+:func:`run_experiment` installs as the process-wide default, so every
+sweep an experiment performs -- however deeply it constructs its runners
+-- checkpoints after each completed cell and survives flaky ones.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.experiments import (
     ablations,
+    faults,
     figure1,
     figure3,
     figure4,
@@ -23,12 +31,18 @@ from repro.experiments import (
     table4,
     table5,
 )
+from repro.sim import runner as runner_module
+from repro.sim.runner import ResilienceConfig
 
 __all__ = ["EXPERIMENTS", "EXTENSIONS", "run_experiment", "main"]
 
 #: Small benchmark subset for --quick runs (violators + quiet apps).
 QUICK_BENCHMARKS = ("swim", "bzip", "parser", "mcf", "fma3d", "gzip")
 QUICK_CYCLES = 20_000
+
+#: Default checkpoint location when ``--resume`` is given without an
+#: explicit ``--checkpoint`` path.
+DEFAULT_CHECKPOINT = ".repro-checkpoint.json"
 
 
 def _run_figure1(quick: bool):
@@ -44,7 +58,10 @@ def _run_figure3(quick: bool):
 
 
 def _run_figure4(quick: bool):
-    return figure4.run(max_cycles=40_000 if quick else 200_000)
+    # Quick mode scales with the same knob as every other experiment
+    # (figure 4 needs a longer window than a sweep cell to catch a
+    # violation, hence the factor of two).
+    return figure4.run(max_cycles=2 * QUICK_CYCLES if quick else 200_000)
 
 
 def _run_table2(quick: bool):
@@ -106,6 +123,14 @@ def _ablation(fn):
     return run
 
 
+def _run_fault_injection(quick: bool):
+    if quick:
+        return faults.run(
+            n_cycles=6_000, benchmarks=("swim",), intensities=(0.3,)
+        )
+    return faults.run()
+
+
 #: Design-choice evidence beyond the paper's own tables ('all' excludes
 #: these; run them by name).
 EXTENSIONS: Dict[str, Callable[[bool], object]] = {
@@ -113,18 +138,82 @@ EXTENSIONS: Dict[str, Callable[[bool], object]] = {
     "ablation-band-coverage": _ablation(ablations.run_band_coverage),
     "ablation-sensing": _ablation(ablations.run_sensing),
     "ablation-detectors": _ablation(ablations.run_detectors),
+    "ablation-fault-injection": _run_fault_injection,
 }
 
 
-def run_experiment(name: str, quick: bool = False):
-    """Run one registered experiment or extension; returns its result."""
-    runner = EXPERIMENTS.get(name) or EXTENSIONS.get(name)
-    if runner is None:
-        raise KeyError(
-            f"unknown experiment {name!r}; choose from"
-            f" {sorted(EXPERIMENTS) + sorted(EXTENSIONS)}"
-        )
-    return runner(quick)
+def run_experiment(
+    name: str,
+    quick: bool = False,
+    resilience: Optional[ResilienceConfig] = None,
+):
+    """Run one registered experiment or extension; returns its result.
+
+    An unknown name raises :class:`KeyError` with close-match suggestions.
+    A :class:`ResilienceConfig` is installed as the sweep default for the
+    duration of the run (and restored afterwards), so nested runners honour
+    checkpointing, retries and timeouts.
+    """
+    experiment = EXPERIMENTS.get(name) or EXTENSIONS.get(name)
+    if experiment is None:
+        known = sorted(EXPERIMENTS) + sorted(EXTENSIONS)
+        close = difflib.get_close_matches(name, known, n=3)
+        hint = f"; did you mean {' or '.join(map(repr, close))}?" if close else ""
+        raise KeyError(f"unknown experiment {name!r}{hint} (choose from {known})")
+    previous = runner_module.DEFAULT_RESILIENCE
+    runner_module.DEFAULT_RESILIENCE = resilience
+    try:
+        return experiment(quick)
+    finally:
+        runner_module.DEFAULT_RESILIENCE = previous
+
+
+def add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared sweep-resilience flags to a CLI parser."""
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="JSON checkpoint updated after every completed sweep cell",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=f"skip cells already in the checkpoint"
+             f" (default path: {DEFAULT_CHECKPOINT})",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retry a failed cell this many times on re-seeded traces",
+    )
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="wall-clock budget per sweep cell in seconds",
+    )
+
+
+def resilience_from_args(args) -> Optional[ResilienceConfig]:
+    """Build the ResilienceConfig the CLI flags describe (None if default)."""
+    checkpoint = args.checkpoint
+    if args.resume and checkpoint is None:
+        checkpoint = DEFAULT_CHECKPOINT
+    if (
+        checkpoint is None
+        and not args.resume
+        and args.max_retries == 0
+        and args.timeout_s is None
+    ):
+        return None
+    return ResilienceConfig(
+        timeout_s=args.timeout_s,
+        max_retries=args.max_retries,
+        checkpoint_path=checkpoint,
+        resume=args.resume,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -143,10 +232,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="reduced cycles and benchmark subset for a fast pass",
     )
+    add_resilience_flags(parser)
     args = parser.parse_args(argv)
+    resilience = resilience_from_args(args)
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in names:
-        result = run_experiment(name, quick=args.quick)
+        result = run_experiment(name, quick=args.quick, resilience=resilience)
         print(result.render())
         print()
     return 0

@@ -1,0 +1,40 @@
+"""Fault injection: seeded, composable fault models for robustness studies.
+
+The subsystem has two halves:
+
+* :mod:`repro.faults.models` -- sensor-path faults (stuck-at, dropped
+  samples, burst noise, drift, quantizer saturation, reporting-delay
+  jitter) chained onto a :class:`~repro.core.sensor.CurrentSensor` by
+  :class:`FaultySensor`;
+* :mod:`repro.faults.attacker` -- the adversarial resonant attacker, as a
+  power-supply current injector and as a workload mutator.
+
+Every model is deterministic given its seed; the
+``ablation-fault-injection`` campaign (:mod:`repro.experiments.faults`)
+sweeps their intensities and reports how detector coverage degrades.
+"""
+
+from repro.faults.attacker import ResonantAttacker, resonant_attack_profile
+from repro.faults.models import (
+    BurstNoiseFault,
+    DelayJitterFault,
+    DriftFault,
+    DroppedSampleFault,
+    FaultySensor,
+    SaturationFault,
+    SensorFault,
+    StuckAtFault,
+)
+
+__all__ = [
+    "SensorFault",
+    "StuckAtFault",
+    "DroppedSampleFault",
+    "BurstNoiseFault",
+    "DriftFault",
+    "SaturationFault",
+    "DelayJitterFault",
+    "FaultySensor",
+    "ResonantAttacker",
+    "resonant_attack_profile",
+]

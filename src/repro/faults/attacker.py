@@ -1,0 +1,145 @@
+"""The adversarial "resonant attacker" (worst-case fault for detection).
+
+The paper's threat is *accidental* resonance; the nastiest fault an
+experiment can inject is a *deliberate* one: extra current drawn as a
+square wave right at the supply's resonant frequency ``f0``, where the
+driving-point impedance peaks (Figure 1(c)) and a small amplitude builds
+the largest voltage swing.  Two forms are provided:
+
+* :class:`ResonantAttacker` -- a :class:`~repro.power.supply.PowerSupply`
+  wrapper that adds the attack current at the die node, *invisible to the
+  on-die current sensors* (they sense core current, not the attacker's);
+  the detector must catch the resonance through the core current the
+  attack entrains, which is exactly the degraded-input regime the
+  fault-injection campaign probes.
+* :func:`resonant_attack_profile` -- a workload mutator that rewrites any
+  :class:`~repro.uarch.trace.WorkloadProfile` so its oscillation structure
+  lands on the resonant period: the program itself becomes the attacker
+  (a di/dt virus in the style of the power-virus literature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.power.rlc import RLCAnalysis
+from repro.power.supply import PowerSupply
+from repro.uarch.trace import WorkloadProfile
+
+__all__ = ["ResonantAttacker", "resonant_attack_profile"]
+
+
+class ResonantAttacker:
+    """Wrap a power supply; inject a square-wave current at ``f0``.
+
+    The square wave alternates between 0 and ``amplitude_amps`` every half
+    ``period_cycles`` (default: the supply's own resonant period), starting
+    at ``start_cycle`` with a seed-derived phase, in episodes of
+    ``episode_periods`` periods separated by ``gap_cycles`` of quiet (an
+    endless attack when ``episode_periods`` is 0).  All other supply
+    attributes delegate to the wrapped instance, so the wrapper is
+    transparent to the simulation loop and to metrics collection.
+    """
+
+    def __init__(
+        self,
+        supply: PowerSupply,
+        amplitude_amps: float,
+        period_cycles: Optional[int] = None,
+        start_cycle: int = 0,
+        episode_periods: int = 0,
+        gap_cycles: int = 0,
+        seed: int = 0,
+    ):
+        if amplitude_amps < 0:
+            raise ConfigurationError("amplitude_amps must be non-negative")
+        if period_cycles is None:
+            period_cycles = RLCAnalysis(supply.config).resonant_period_cycles
+        if period_cycles < 2:
+            raise ConfigurationError("period_cycles must be at least 2")
+        if start_cycle < 0:
+            raise ConfigurationError("start_cycle must be non-negative")
+        if episode_periods < 0 or gap_cycles < 0:
+            raise ConfigurationError(
+                "episode_periods and gap_cycles must be non-negative"
+            )
+        self._supply = supply
+        self.amplitude_amps = amplitude_amps
+        self.period_cycles = period_cycles
+        self.start_cycle = start_cycle
+        self.episode_periods = episode_periods
+        self.gap_cycles = gap_cycles
+        self.seed = seed
+        self._phase = int(
+            np.random.default_rng(seed).integers(0, period_cycles)
+        )
+        self._attack_cycle = 0
+        self.injected_cycles = 0
+
+    def attack_current(self) -> float:
+        """The attacker's current draw for the next cycle."""
+        if self._attack_cycle < self.start_cycle:
+            return 0.0
+        position = self._attack_cycle - self.start_cycle + self._phase
+        if self.episode_periods:
+            episode_span = self.episode_periods * self.period_cycles
+            position %= episode_span + self.gap_cycles
+            if position >= episode_span:
+                return 0.0
+        half = self.period_cycles // 2
+        high = (position // half) % 2 == 0
+        return self.amplitude_amps if high else 0.0
+
+    def step(self, cpu_current: float) -> float:
+        injection = self.attack_current()
+        if injection:
+            self.injected_cycles += 1
+        self._attack_cycle += 1
+        return self._supply.step(cpu_current + injection)
+
+    def __getattr__(self, name):
+        # Everything we do not override (config, violation counters, trace,
+        # reset...) behaves exactly like the wrapped supply.
+        return getattr(self._supply, name)
+
+
+def resonant_attack_profile(
+    profile: WorkloadProfile,
+    supply_config=None,
+    ipc_estimate: float = 4.2,
+    episode_periods: int = 8,
+    gap_instrs: int = 6000,
+) -> WorkloadProfile:
+    """Mutate a workload so its activity oscillates at the resonant period.
+
+    Rewrites the profile's oscillation structure (keeping its instruction
+    mix and memory behaviour) into boosted high-ILP phases alternating with
+    short serial chains whose emergent period is the supply's resonant
+    period: ``period_instrs = period_cycles * ipc_estimate`` instructions
+    per full oscillation.  The mutated program is a worst-case *workload*
+    attacker for the given supply.
+    """
+    from repro.config import TABLE1_SUPPLY
+
+    if ipc_estimate <= 0:
+        raise ConfigurationError("ipc_estimate must be positive")
+    supply_config = supply_config if supply_config is not None else TABLE1_SUPPLY
+    period_cycles = RLCAnalysis(supply_config).resonant_period_cycles
+    period_instrs = max(8, round(period_cycles * ipc_estimate))
+    low_instrs = max(4, round(period_instrs * 0.12))
+    return replace(
+        profile,
+        description=f"{profile.description} [resonant attacker]",
+        osc_kind="serial",
+        osc_period_instrs=period_instrs,
+        osc_low_instrs=low_instrs,
+        osc_jitter_instrs=2,
+        osc_boost_ilp=True,
+        osc_boost_dep=16,
+        osc_episode_periods=episode_periods,
+        osc_gap_instrs=gap_instrs,
+    )

@@ -1,0 +1,297 @@
+"""Composable, seeded sensor-fault models (the fault taxonomy).
+
+The paper's sensitivity discussion (Sections 2.1.4 and 5.2) varies sensor
+precision and reporting delay; this module goes further and models the ways
+a real on-die current sensor *breaks*: readings stick, samples drop, noise
+bursts, the quantizer saturates, the report path jitters, and slow drift
+accumulates.  Every model is:
+
+* **composable** -- a :class:`FaultySensor` chains any number of faults, in
+  order, after the base :class:`~repro.core.sensor.CurrentSensor` has
+  quantized/delayed the true current;
+* **seeded** -- all randomness comes from a ``numpy`` generator created
+  from the model's own seed, so a fault sequence is a pure function of
+  ``(seed, cycle)`` and every campaign run is exactly reproducible;
+* **resettable** -- ``reset()`` restores the initial state (fresh RNG,
+  cleared hold/delay state), matching ``CurrentSensor.reset``.
+
+See ``docs/robustness.md`` for the full taxonomy and the intensity mapping
+used by the ``ablation-fault-injection`` campaign.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.sensor import CurrentSensor
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SensorFault",
+    "StuckAtFault",
+    "DroppedSampleFault",
+    "BurstNoiseFault",
+    "DriftFault",
+    "SaturationFault",
+    "DelayJitterFault",
+    "FaultySensor",
+]
+
+
+class SensorFault(abc.ABC):
+    """One transformation on the sensed-current report path.
+
+    Subclasses implement :meth:`apply`; per-fault random state lives in
+    ``self._rng`` which :meth:`reset` rebuilds from the stored seed.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @abc.abstractmethod
+    def apply(self, cycle: int, reading_amps: float) -> float:
+        """Transform this cycle's sensor reading."""
+
+    def reset(self) -> None:
+        """Restore the initial (pre-run) fault state."""
+        self._rng = np.random.default_rng(self.seed)
+
+
+class StuckAtFault(SensorFault):
+    """The sensor output sticks at a fixed value for a window of cycles.
+
+    Models a latched comparator or a stuck report wire: from
+    ``start_cycle`` on (for ``duration_cycles`` cycles, or forever when
+    None) every reading is replaced by ``value_amps``.
+    """
+
+    def __init__(
+        self,
+        value_amps: float,
+        start_cycle: int = 0,
+        duration_cycles: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if start_cycle < 0:
+            raise ConfigurationError("start_cycle must be non-negative")
+        if duration_cycles is not None and duration_cycles <= 0:
+            raise ConfigurationError(
+                "duration_cycles must be positive when set"
+            )
+        super().__init__(seed)
+        self.value_amps = value_amps
+        self.start_cycle = start_cycle
+        self.duration_cycles = duration_cycles
+
+    def apply(self, cycle: int, reading_amps: float) -> float:
+        if cycle < self.start_cycle:
+            return reading_amps
+        if (
+            self.duration_cycles is not None
+            and cycle >= self.start_cycle + self.duration_cycles
+        ):
+            return reading_amps
+        return self.value_amps
+
+
+class DroppedSampleFault(SensorFault):
+    """Samples drop with probability ``p``; the report holds its last value.
+
+    Models lost report-bus transfers with a last-value-hold register at the
+    receiver (the hardware-natural recovery).  The first sample is never
+    dropped (there is nothing to hold yet).
+    """
+
+    def __init__(self, drop_probability: float, seed: int = 0):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ConfigurationError("drop_probability must be in [0, 1]")
+        super().__init__(seed)
+        self.drop_probability = drop_probability
+        self._held: Optional[float] = None
+
+    def apply(self, cycle: int, reading_amps: float) -> float:
+        if (
+            self._held is not None
+            and self._rng.random() < self.drop_probability
+        ):
+            return self._held
+        self._held = reading_amps
+        return reading_amps
+
+    def reset(self) -> None:
+        super().reset()
+        self._held = None
+
+
+class BurstNoiseFault(SensorFault):
+    """Uniform noise bursts: quiet normally, loud for short windows.
+
+    Each quiet cycle a burst starts with ``burst_probability``; during a
+    burst of ``burst_length_cycles`` cycles the reading gains uniform noise
+    of ``amplitude_pp_amps`` peak-to-peak (e.g. coupling from a neighbouring
+    aggressor net).
+    """
+
+    def __init__(
+        self,
+        amplitude_pp_amps: float,
+        burst_probability: float = 0.01,
+        burst_length_cycles: int = 50,
+        seed: int = 0,
+    ):
+        if amplitude_pp_amps < 0:
+            raise ConfigurationError("amplitude_pp_amps must be non-negative")
+        if not 0.0 <= burst_probability <= 1.0:
+            raise ConfigurationError("burst_probability must be in [0, 1]")
+        if burst_length_cycles <= 0:
+            raise ConfigurationError("burst_length_cycles must be positive")
+        super().__init__(seed)
+        self.amplitude_pp_amps = amplitude_pp_amps
+        self.burst_probability = burst_probability
+        self.burst_length_cycles = burst_length_cycles
+        self._remaining = 0
+
+    def apply(self, cycle: int, reading_amps: float) -> float:
+        if self._remaining > 0:
+            self._remaining -= 1
+            half = 0.5 * self.amplitude_pp_amps
+            return reading_amps + float(self._rng.uniform(-half, half))
+        if self._rng.random() < self.burst_probability:
+            self._remaining = self.burst_length_cycles
+        return reading_amps
+
+    def reset(self) -> None:
+        super().reset()
+        self._remaining = 0
+
+
+class DriftFault(SensorFault):
+    """Slow additive offset growing linearly with time.
+
+    Models thermal drift of the sensing reference: the reading gains
+    ``drift_amps_per_kilocycle / 1000`` amps per cycle, optionally clamped
+    at ``max_offset_amps``.
+    """
+
+    def __init__(
+        self,
+        drift_amps_per_kilocycle: float,
+        max_offset_amps: Optional[float] = None,
+        seed: int = 0,
+    ):
+        if max_offset_amps is not None and max_offset_amps < 0:
+            raise ConfigurationError("max_offset_amps must be non-negative")
+        super().__init__(seed)
+        self.drift_amps_per_kilocycle = drift_amps_per_kilocycle
+        self.max_offset_amps = max_offset_amps
+
+    def apply(self, cycle: int, reading_amps: float) -> float:
+        offset = self.drift_amps_per_kilocycle * max(cycle, 0) / 1000.0
+        if self.max_offset_amps is not None:
+            limit = self.max_offset_amps
+            offset = max(-limit, min(limit, offset))
+        return reading_amps + offset
+
+
+class SaturationFault(SensorFault):
+    """Quantizer saturation: readings clip at the sensor's full scale.
+
+    An undersized sensor range reports every current above
+    ``full_scale_amps`` as exactly full scale (and clips below
+    ``min_amps``), flattening the very peaks detection relies on.
+    """
+
+    def __init__(
+        self, full_scale_amps: float, min_amps: float = 0.0, seed: int = 0
+    ):
+        if full_scale_amps <= min_amps:
+            raise ConfigurationError("full_scale_amps must exceed min_amps")
+        super().__init__(seed)
+        self.full_scale_amps = full_scale_amps
+        self.min_amps = min_amps
+
+    def apply(self, cycle: int, reading_amps: float) -> float:
+        return max(self.min_amps, min(self.full_scale_amps, reading_amps))
+
+
+class DelayJitterFault(SensorFault):
+    """Transient reporting-delay jitter.
+
+    With probability ``jitter_probability`` a cycle's report is replaced by
+    a stale one from 1..``max_extra_delay_cycles`` cycles ago (uniformly
+    chosen), modelling contention on a shared report bus.  Until the stale
+    buffer fills, the oldest available reading is used.
+    """
+
+    def __init__(
+        self,
+        max_extra_delay_cycles: int,
+        jitter_probability: float,
+        seed: int = 0,
+    ):
+        if max_extra_delay_cycles <= 0:
+            raise ConfigurationError("max_extra_delay_cycles must be positive")
+        if not 0.0 <= jitter_probability <= 1.0:
+            raise ConfigurationError("jitter_probability must be in [0, 1]")
+        super().__init__(seed)
+        self.max_extra_delay_cycles = max_extra_delay_cycles
+        self.jitter_probability = jitter_probability
+        self._recent = deque(maxlen=max_extra_delay_cycles + 1)
+
+    def apply(self, cycle: int, reading_amps: float) -> float:
+        self._recent.append(reading_amps)
+        if self._rng.random() < self.jitter_probability:
+            lag = int(self._rng.integers(1, self.max_extra_delay_cycles + 1))
+            index = max(len(self._recent) - 1 - lag, 0)
+            return self._recent[index]
+        return reading_amps
+
+    def reset(self) -> None:
+        super().reset()
+        self._recent.clear()
+
+
+class FaultySensor:
+    """A :class:`CurrentSensor` with an ordered chain of faults mounted.
+
+    Drop-in replacement for ``CurrentSensor`` wherever one is consumed (the
+    tuning controller's ``sensor=`` parameter): the base sensor quantizes /
+    delays the true current as usual, then each fault transforms the
+    report, in order.  Sequencing matters and is the caller's statement of
+    where each fault physically sits (e.g. saturation *after* burst noise
+    models an analog disturbance clipped by the quantizer; the reverse
+    models digital-side corruption).
+    """
+
+    def __init__(
+        self,
+        faults: Sequence[SensorFault],
+        base: Optional[CurrentSensor] = None,
+    ):
+        for fault in faults:
+            if not isinstance(fault, SensorFault):
+                raise ConfigurationError(
+                    f"faults must be SensorFault instances, got {fault!r}"
+                )
+        self.base = base if base is not None else CurrentSensor()
+        self.faults = tuple(faults)
+        self._cycle = -1
+
+    def read(self, true_current_amps: float) -> float:
+        """Report this cycle's sensed current with all faults applied."""
+        self._cycle += 1
+        reading = self.base.read(true_current_amps)
+        for fault in self.faults:
+            reading = fault.apply(self._cycle, reading)
+        return reading
+
+    def reset(self) -> None:
+        self.base.reset()
+        for fault in self.faults:
+            fault.reset()
+        self._cycle = -1

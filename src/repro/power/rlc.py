@@ -74,6 +74,17 @@ class RLCAnalysis:
         self._r = config.resistance_ohms
         self._l = config.inductance_henries
         self._c = config.capacitance_farads
+        # PowerSupplyConfig rejects non-positive values but cannot see NaN
+        # or inf (both compare False against 0); a NaN here would silently
+        # turn every derived quantity into NaN instead of an error.
+        for name, value in (
+            ("resistance_ohms", self._r),
+            ("inductance_henries", self._l),
+            ("capacitance_farads", self._c),
+            ("clock_hz", config.clock_hz),
+        ):
+            if not math.isfinite(value):
+                raise CircuitError(f"{name} must be finite, got {value!r}")
 
     # ------------------------------------------------------------------
     # Section 2.1.1 -- resonant frequency and damping classification

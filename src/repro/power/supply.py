@@ -9,12 +9,14 @@ exceeds the +/-5 % margin.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
 import numpy as np
 
 from repro.config import PowerSupplyConfig
+from repro.errors import FaultError, SimulationError
 from repro.power.integrator import HeunIntegrator
 from repro.power.rlc import RLCAnalysis
 
@@ -93,9 +95,24 @@ class PowerSupply:
             self.trace = SupplyTrace()
 
     def step(self, cpu_current: float) -> float:
-        """Advance one cycle; return the IR-drop-corrected voltage deviation."""
+        """Advance one cycle; return the IR-drop-corrected voltage deviation.
+
+        Raises :class:`FaultError` on a non-finite input current (a faulty
+        upstream model must not silently poison the integrator state) and
+        :class:`SimulationError` if the integrated voltage itself leaves the
+        finite range (numerical blow-up), so garbage never reaches metrics.
+        """
+        if not math.isfinite(cpu_current):
+            raise FaultError(
+                f"non-finite CPU current {cpu_current!r} at cycle {self.cycle}"
+            )
         raw = self._integrator.step(cpu_current)
         voltage = raw + self.config.resistance_ohms * cpu_current
+        if not math.isfinite(voltage):
+            raise SimulationError(
+                f"power-supply voltage diverged ({voltage!r}) at cycle"
+                f" {self.cycle}; integrator state is no longer trustworthy"
+            )
         violated = abs(voltage) > self._margin
         if violated:
             self.violation_cycles += 1

@@ -3,9 +3,12 @@
 from repro.sim.metrics import RelativeMetrics, SimulationResult
 from repro.sim.runner import (
     BenchmarkRunner,
+    FailureReport,
+    ResilienceConfig,
     SeedStatistics,
     SweepConfig,
     TechniqueSummary,
+    load_checkpoint,
     summarize,
 )
 from repro.sim.simulation import Simulation
@@ -14,9 +17,12 @@ __all__ = [
     "RelativeMetrics",
     "SimulationResult",
     "BenchmarkRunner",
+    "FailureReport",
+    "ResilienceConfig",
     "SeedStatistics",
     "SweepConfig",
     "TechniqueSummary",
+    "load_checkpoint",
     "summarize",
     "Simulation",
 ]

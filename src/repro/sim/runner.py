@@ -5,11 +5,23 @@ A *controller factory* is any callable ``(supply_config, processor_config)
 run (so runs are independent and deterministic), executes the base
 configuration once per benchmark, and reports each technique's metrics
 relative to it.
+
+Sweeps are *resilient*: a :class:`ResilienceConfig` adds per-cell
+wall-clock timeouts, bounded retry with deterministic re-seeding, and a
+JSON checkpoint written after every completed (benchmark, technique, seed)
+cell, so a killed sweep resumes exactly where it stopped (see
+``docs/robustness.md``).  Cells that exhaust their retry budget become
+structured :class:`FailureReport` entries on the :class:`TechniqueSummary`
+instead of aborting the whole sweep.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, fields
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import (
@@ -19,6 +31,7 @@ from repro.config import (
     TABLE1_SUPPLY,
 )
 from repro.core.controller import NoiseController, NullController
+from repro.errors import ConfigurationError, FaultError
 from repro.power.supply import PowerSupply
 from repro.sim.metrics import RelativeMetrics, SimulationResult
 from repro.sim.simulation import Simulation
@@ -27,13 +40,33 @@ from repro.uarch.workloads import SPEC2K
 
 __all__ = [
     "SweepConfig",
+    "ResilienceConfig",
+    "FailureReport",
     "TechniqueSummary",
     "SeedStatistics",
     "BenchmarkRunner",
     "summarize",
+    "load_checkpoint",
+    "DEFAULT_RESILIENCE",
 ]
 
 ControllerFactory = Callable[[PowerSupplyConfig, ProcessorConfig], NoiseController]
+SupplyTransform = Callable[[PowerSupply, str], PowerSupply]
+
+#: Process-wide fallback resilience, installed temporarily by
+#: :func:`repro.experiments.registry.run_experiment` so experiments that
+#: build their own runners deep inside still honour ``--resume`` /
+#: ``--timeout-s`` / ``--max-retries`` without threading a parameter
+#: through every experiment signature.
+DEFAULT_RESILIENCE: Optional["ResilienceConfig"] = None
+
+#: Seed stride between retry attempts: a failed cell re-runs on a freshly
+#: regenerated trace whose seed is a deterministic function of (profile
+#: seed, attempt), so retries are reproducible run to run.
+_RESEED_STRIDE = 104_729
+
+#: Version tag of the checkpoint JSON schema.
+_CHECKPOINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -46,11 +79,56 @@ class SweepConfig:
     processor: ProcessorConfig = TABLE1_PROCESSOR
     trace_instructions: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        if self.n_cycles <= 0:
+            raise ConfigurationError("n_cycles must be positive")
+        if self.warmup_cycles < 0:
+            raise ConfigurationError("warmup_cycles must be non-negative")
+        if self.trace_instructions is not None and self.trace_instructions <= 0:
+            raise ConfigurationError(
+                "trace_instructions must be positive when set"
+            )
+
     def instructions(self) -> int:
         if self.trace_instructions is not None:
             return self.trace_instructions
         # Enough instructions that no workload wraps more than a few times.
         return max(50_000, int((self.n_cycles + self.warmup_cycles) * 4.5))
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault tolerance for a sweep: timeout, retries, checkpointing."""
+
+    #: wall-clock budget per (benchmark, technique, seed) cell; None = none
+    timeout_s: Optional[float] = None
+    #: extra attempts after the first, each on a deterministically re-seeded
+    #: trace (seed = profile seed + 104729 * attempt)
+    max_retries: int = 0
+    #: JSON file updated after every completed cell; None disables
+    checkpoint_path: Optional[str] = None
+    #: load the checkpoint and skip already-completed cells
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive when set")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if self.resume and self.checkpoint_path is None:
+            raise ConfigurationError("resume requires a checkpoint_path")
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """One sweep cell that exhausted its retry budget."""
+
+    benchmark: str
+    technique: str
+    seed: Optional[int]
+    attempts: int
+    error_type: str
+    message: str
 
 
 @dataclass(frozen=True)
@@ -87,15 +165,124 @@ class TechniqueSummary:
     avg_second_level_fraction: float
     total_violation_cycles: int
     per_benchmark: Tuple[RelativeMetrics, ...]
+    failures: Tuple[FailureReport, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# Checkpoint I/O
+# ----------------------------------------------------------------------
+
+def _cell_key(
+    ordinal: int, benchmark: str, technique: str, seed: Optional[int]
+) -> str:
+    """Checkpoint key of one cell.
+
+    ``ordinal`` is the index of the sweep within its runner: experiments
+    routinely sweep several *variants* of one technique (same controller
+    name, different knobs) through one runner, and the ordinal keeps their
+    cells distinct.  Re-running the same experiment replays the same sweep
+    order, so ordinals are stable across a kill/resume boundary.
+    """
+    return f"s{ordinal}|{benchmark}|{technique}|{'-' if seed is None else seed}"
+
+
+def load_checkpoint(path: str) -> dict:
+    """Read a sweep checkpoint; returns its raw dictionary form."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("version") != _CHECKPOINT_VERSION:
+        raise ConfigurationError(
+            f"checkpoint {path!r} has version {data.get('version')!r},"
+            f" expected {_CHECKPOINT_VERSION}"
+        )
+    return data
+
+
+def _write_checkpoint(path: str, payload: dict) -> None:
+    """Atomically replace the checkpoint (write-temp-then-rename)."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w") as handle:
+        json.dump(payload, handle, indent=0, sort_keys=True)
+    os.replace(tmp_path, path)
+
+
+def _metrics_from_dict(data: dict) -> RelativeMetrics:
+    names = {f.name for f in fields(RelativeMetrics)}
+    return RelativeMetrics(**{k: v for k, v in data.items() if k in names})
+
+
+def _call_with_timeout(fn: Callable[[], object], timeout_s: Optional[float]):
+    """Run ``fn`` bounded by ``timeout_s`` of wall-clock time.
+
+    The work runs on a daemon thread so a hung cell cannot wedge the sweep;
+    on timeout the thread is abandoned (Python offers no preemptive kill)
+    and a :class:`FaultError` raised.  Without a timeout, runs inline.
+    """
+    if timeout_s is None:
+        return fn()
+    outcome: dict = {}
+
+    def target():
+        try:
+            outcome["value"] = fn()
+        except BaseException as error:  # propagate to the caller's thread
+            outcome["error"] = error
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise FaultError(
+            f"run exceeded the wall-clock timeout of {timeout_s:g} s"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
 
 
 class BenchmarkRunner:
-    """Runs benchmarks against controller factories, caching base runs."""
+    """Runs benchmarks against controller factories, caching base runs.
 
-    def __init__(self, config: Optional[SweepConfig] = None):
+    Parameters
+    ----------
+    config:
+        Cycle counts and hardware configuration shared by every run.
+    resilience:
+        Default :class:`ResilienceConfig` for :meth:`sweep`; when None the
+        module-level :data:`DEFAULT_RESILIENCE` (set by the experiments
+        registry from CLI flags) applies.
+    supply_transform:
+        Optional ``(supply, benchmark) -> supply`` hook wrapping the power
+        supply of every run -- the fault-injection subsystem uses it to
+        mount adversarial current attackers on otherwise unchanged sweeps.
+    max_base_cache_entries:
+        Bound on the cached base runs (LRU eviction), so long multi-seed
+        sweeps cannot grow memory without limit.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SweepConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        supply_transform: Optional[SupplyTransform] = None,
+        max_base_cache_entries: int = 32,
+    ):
+        if max_base_cache_entries < 1:
+            raise ConfigurationError("max_base_cache_entries must be >= 1")
         self.config = config or SweepConfig()
-        self._base_cache: Dict[tuple, SimulationResult] = {}
+        self.resilience = resilience
+        self.supply_transform = supply_transform
+        self.max_base_cache_entries = max_base_cache_entries
+        self._base_cache: "OrderedDict[tuple, SimulationResult]" = OrderedDict()
+        self._checkpoint_cells: Optional[Dict[str, dict]] = None
+        self._sweep_count = 0
 
+    # ------------------------------------------------------------------
+    # Building and running single cells
+    # ------------------------------------------------------------------
     def _build_simulation(
         self,
         benchmark: str,
@@ -114,6 +301,8 @@ class BenchmarkRunner:
         supply = PowerSupply(
             config.supply, initial_current=config.processor.min_current_amps
         )
+        if self.supply_transform is not None:
+            supply = self.supply_transform(supply, benchmark)
         return Simulation(
             processor,
             supply,
@@ -128,12 +317,19 @@ class BenchmarkRunner:
     ) -> SimulationResult:
         """Run (or fetch the cached) uncontrolled base configuration."""
         key = (benchmark, seed)
-        if key not in self._base_cache:
-            simulation = self._build_simulation(
-                benchmark, NullController(), seed=seed
-            )
-            self._base_cache[key] = simulation.run(self.config.n_cycles)
-        return self._base_cache[key]
+        if key in self._base_cache:
+            self._base_cache.move_to_end(key)
+            return self._base_cache[key]
+        simulation = self._build_simulation(benchmark, NullController(), seed=seed)
+        result = simulation.run(self.config.n_cycles)
+        self._base_cache[key] = result
+        while len(self._base_cache) > self.max_base_cache_entries:
+            self._base_cache.popitem(last=False)
+        return result
+
+    def clear_cache(self) -> None:
+        """Drop all cached base runs (they are recomputed on demand)."""
+        self._base_cache.clear()
 
     def run_technique(
         self,
@@ -192,29 +388,158 @@ class BenchmarkRunner:
             runs=runs,
         )
 
+    # ------------------------------------------------------------------
+    # Resilient sweeping
+    # ------------------------------------------------------------------
+    def _resolve_resilience(
+        self, override: Optional[ResilienceConfig]
+    ) -> ResilienceConfig:
+        if override is not None:
+            return override
+        if self.resilience is not None:
+            return self.resilience
+        if DEFAULT_RESILIENCE is not None:
+            return DEFAULT_RESILIENCE
+        return ResilienceConfig()
+
+    def _load_cells(self, resilience: ResilienceConfig) -> Dict[str, dict]:
+        """The in-memory mirror of the checkpoint's completed cells."""
+        if self._checkpoint_cells is not None:
+            return self._checkpoint_cells
+        cells: Dict[str, dict] = {}
+        path = resilience.checkpoint_path
+        if resilience.resume and path and os.path.exists(path):
+            data = load_checkpoint(path)
+            if (
+                data.get("n_cycles") != self.config.n_cycles
+                or data.get("warmup_cycles") != self.config.warmup_cycles
+            ):
+                raise ConfigurationError(
+                    f"checkpoint {path!r} was written for"
+                    f" n_cycles={data.get('n_cycles')}"
+                    f" warmup_cycles={data.get('warmup_cycles')}, which does"
+                    f" not match this sweep"
+                    f" (n_cycles={self.config.n_cycles},"
+                    f" warmup_cycles={self.config.warmup_cycles})"
+                )
+            cells = dict(data.get("cells", {}))
+        self._checkpoint_cells = cells
+        return cells
+
+    def _save_cells(self, resilience: ResilienceConfig) -> None:
+        if resilience.checkpoint_path is None:
+            return
+        _write_checkpoint(
+            resilience.checkpoint_path,
+            {
+                "version": _CHECKPOINT_VERSION,
+                "n_cycles": self.config.n_cycles,
+                "warmup_cycles": self.config.warmup_cycles,
+                "cells": self._checkpoint_cells or {},
+            },
+        )
+
+    def _run_cell(
+        self,
+        benchmark: str,
+        technique: str,
+        factory: ControllerFactory,
+        resilience: ResilienceConfig,
+    ):
+        """One (benchmark, technique) cell with timeout and bounded retry.
+
+        Returns ``(metrics, None)`` on success or ``(None, FailureReport)``
+        once every attempt -- the original run plus ``max_retries``
+        deterministically re-seeded ones -- has failed.  Interrupts
+        (KeyboardInterrupt / SystemExit) always propagate so a killed sweep
+        stops at a checkpointed boundary instead of "retrying" the kill.
+        """
+        last_error: Optional[BaseException] = None
+        seed: Optional[int] = None
+        attempts = resilience.max_retries + 1
+        for attempt in range(attempts):
+            seed = (
+                None
+                if attempt == 0
+                else SPEC2K[benchmark].seed + _RESEED_STRIDE * attempt
+            )
+            try:
+                metrics = _call_with_timeout(
+                    lambda: self.compare(benchmark, factory, seed=seed),
+                    resilience.timeout_s,
+                )
+                return metrics, None
+            except Exception as error:
+                last_error = error
+        return None, FailureReport(
+            benchmark=benchmark,
+            technique=technique,
+            seed=seed,
+            attempts=attempts,
+            error_type=type(last_error).__name__,
+            message=str(last_error),
+        )
+
     def sweep(
         self,
         factory: ControllerFactory,
         benchmarks: Optional[Sequence[str]] = None,
         progress: Optional[Callable[[str, RelativeMetrics], None]] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> TechniqueSummary:
-        """Run one technique over a benchmark list and aggregate."""
+        """Run one technique over a benchmark list and aggregate.
+
+        With a :class:`ResilienceConfig` (passed here, on the runner, or via
+        :data:`DEFAULT_RESILIENCE`), each completed cell is appended to the
+        JSON checkpoint before the next starts, failed cells are retried on
+        re-seeded traces and finally reported as :class:`FailureReport`
+        entries, and ``resume=True`` skips cells already in the checkpoint
+        -- producing a summary identical to an uninterrupted sweep.
+        """
+        resilience = self._resolve_resilience(resilience)
         names = list(benchmarks) if benchmarks is not None else sorted(SPEC2K)
+        # One probe controller names the technique (cells are keyed by it).
+        technique = factory(self.config.supply, self.config.processor).name
+        cells = self._load_cells(resilience)
+        ordinal = self._sweep_count
+        self._sweep_count += 1
+
         rows: List[RelativeMetrics] = []
+        failures: List[FailureReport] = []
         violation_cycles = 0
         for name in names:
-            metrics = self.compare(name, factory)
+            key = _cell_key(ordinal, name, technique, None)
+            if key in cells:
+                metrics = _metrics_from_dict(cells[key])
+            else:
+                metrics, failure = self._run_cell(
+                    name, technique, factory, resilience
+                )
+                if failure is not None:
+                    failures.append(failure)
+                    continue
+                cells[key] = asdict(metrics)
+                self._save_cells(resilience)
             rows.append(metrics)
             violation_cycles += round(
                 metrics.violation_fraction * self.config.n_cycles
             )
             if progress is not None:
                 progress(name, metrics)
-        return summarize(rows, violation_cycles)
+        if not rows:
+            detail = "; ".join(
+                f"{f.benchmark}: {f.error_type}: {f.message}" for f in failures
+            )
+            raise FaultError(
+                f"every cell of the {technique!r} sweep failed ({detail})"
+            )
+        return summarize(rows, violation_cycles, failures=tuple(failures))
 
 
 def summarize(
-    rows: Iterable[RelativeMetrics], total_violation_cycles: int = 0
+    rows: Iterable[RelativeMetrics],
+    total_violation_cycles: int = 0,
+    failures: Tuple[FailureReport, ...] = (),
 ) -> TechniqueSummary:
     """Aggregate per-benchmark relative metrics into a table row."""
     rows = tuple(rows)
@@ -236,4 +561,5 @@ def summarize(
         ),
         total_violation_cycles=total_violation_cycles,
         per_benchmark=rows,
+        failures=failures,
     )

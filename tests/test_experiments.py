@@ -258,6 +258,7 @@ class TestAblations:
             "ablation-band-coverage",
             "ablation-sensing",
             "ablation-detectors",
+            "ablation-fault-injection",
         }
         assert not set(EXTENSIONS) & set(EXPERIMENTS)
 

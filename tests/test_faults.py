@@ -1,0 +1,469 @@
+"""Tests for the fault-injection subsystem (repro.faults).
+
+Covers: determinism of every fault model under a fixed seed, the semantics
+of each model, composition through FaultySensor, the resonant attacker
+(supply wrapper and workload mutator), and detector/controller behaviour
+when each fault model is mounted -- including the bounded second-level
+hold under 20 % dropped samples the acceptance criteria require.
+"""
+
+import math
+
+import pytest
+
+from repro.config import (
+    TABLE1_PROCESSOR,
+    TABLE1_SUPPLY,
+    TABLE1_TUNING,
+    TuningConfig,
+)
+from repro.core import CurrentSensor, ResonanceTuningController
+from repro.errors import ConfigurationError, FaultError
+from repro.faults import (
+    BurstNoiseFault,
+    DelayJitterFault,
+    DriftFault,
+    DroppedSampleFault,
+    FaultySensor,
+    ResonantAttacker,
+    SaturationFault,
+    StuckAtFault,
+    resonant_attack_profile,
+)
+from repro.power.rlc import RLCAnalysis
+from repro.power.supply import PowerSupply
+from repro.sim import BenchmarkRunner, SweepConfig
+from repro.uarch import SPEC2K
+
+
+def drive(controller, wave, start_cycle=0):
+    """Open-loop drive: feed a current waveform through the control loop."""
+    directives = []
+    for offset, current in enumerate(wave):
+        cycle = start_cycle + offset
+        directives.append(controller.directives(cycle))
+        controller.observe(cycle, current, 0.0)
+    return directives
+
+
+def square_wave(period, n_cycles, low=40.0, high=90.0):
+    half = period // 2
+    return [high if (c // half) % 2 == 0 else low for c in range(n_cycles)]
+
+
+RESONANT_PERIOD = RLCAnalysis(TABLE1_SUPPLY).resonant_period_cycles
+
+
+# ----------------------------------------------------------------------
+# Determinism and reset
+# ----------------------------------------------------------------------
+
+ALL_MODELS = [
+    lambda seed: StuckAtFault(70.0, start_cycle=100, duration_cycles=200, seed=seed),
+    lambda seed: DroppedSampleFault(0.3, seed=seed),
+    lambda seed: BurstNoiseFault(20.0, burst_probability=0.05,
+                                 burst_length_cycles=10, seed=seed),
+    lambda seed: DriftFault(5.0, max_offset_amps=30.0, seed=seed),
+    lambda seed: SaturationFault(80.0, seed=seed),
+    lambda seed: DelayJitterFault(5, 0.4, seed=seed),
+]
+
+
+@pytest.mark.parametrize("build", ALL_MODELS)
+def test_fault_model_deterministic_under_fixed_seed(build):
+    wave = square_wave(20, 600)
+    outputs = []
+    for _ in range(2):
+        fault = build(42)
+        outputs.append([fault.apply(c, v) for c, v in enumerate(wave)])
+    assert outputs[0] == outputs[1]
+
+
+@pytest.mark.parametrize("build", ALL_MODELS)
+def test_fault_model_reset_restores_initial_state(build):
+    wave = square_wave(14, 400)
+    fault = build(7)
+    first = [fault.apply(c, v) for c, v in enumerate(wave)]
+    fault.reset()
+    second = [fault.apply(c, v) for c, v in enumerate(wave)]
+    assert first == second
+
+
+def test_faulty_sensor_deterministic_end_to_end():
+    readings = []
+    for _ in range(2):
+        sensor = FaultySensor([
+            DroppedSampleFault(0.2, seed=1),
+            BurstNoiseFault(10.0, burst_probability=0.1, seed=2),
+        ])
+        readings.append(
+            [sensor.read(v) for v in square_wave(18, 500)]
+        )
+    assert readings[0] == readings[1]
+
+
+# ----------------------------------------------------------------------
+# Individual model semantics
+# ----------------------------------------------------------------------
+
+class TestStuckAt:
+    def test_sticks_only_inside_window(self):
+        fault = StuckAtFault(55.0, start_cycle=10, duration_cycles=5)
+        assert fault.apply(9, 80.0) == 80.0
+        assert fault.apply(10, 80.0) == 55.0
+        assert fault.apply(14, 80.0) == 55.0
+        assert fault.apply(15, 80.0) == 80.0
+
+    def test_sticks_forever_without_duration(self):
+        fault = StuckAtFault(55.0, start_cycle=0)
+        assert fault.apply(10 ** 6, 80.0) == 55.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            StuckAtFault(55.0, start_cycle=-1)
+        with pytest.raises(ConfigurationError):
+            StuckAtFault(55.0, duration_cycles=0)
+
+
+class TestDroppedSamples:
+    def test_drop_holds_last_delivered_value(self):
+        fault = DroppedSampleFault(1.0, seed=0)  # drops everything possible
+        assert fault.apply(0, 61.0) == 61.0      # nothing to hold yet
+        assert fault.apply(1, 99.0) == 61.0
+        assert fault.apply(2, 12.0) == 61.0
+
+    def test_zero_probability_is_transparent(self):
+        fault = DroppedSampleFault(0.0, seed=0)
+        wave = square_wave(12, 200)
+        assert [fault.apply(c, v) for c, v in enumerate(wave)] == wave
+
+    def test_drop_rate_close_to_requested(self):
+        fault = DroppedSampleFault(0.3, seed=5)
+        wave = [float(i) for i in range(4000)]  # all distinct
+        out = [fault.apply(c, v) for c, v in enumerate(wave)]
+        dropped = sum(1 for v, o in zip(wave, out) if v != o)
+        assert 0.25 < dropped / len(wave) < 0.35
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            DroppedSampleFault(1.5)
+
+
+class TestBurstNoise:
+    def test_noise_confined_to_bursts(self):
+        fault = BurstNoiseFault(30.0, burst_probability=0.02,
+                                burst_length_cycles=8, seed=3)
+        wave = [70.0] * 3000
+        out = [fault.apply(c, v) for c, v in enumerate(wave)]
+        noisy = [abs(o - 70.0) for o in out]
+        assert any(n > 0 for n in noisy)            # bursts occurred
+        assert max(noisy) <= 15.0 + 1e-9            # bounded by half p-p
+        # quiet cycles dominate at this burst probability
+        assert sum(1 for n in noisy if n == 0) > len(wave) / 2
+
+
+class TestDrift:
+    def test_offset_grows_then_clamps(self):
+        fault = DriftFault(10.0, max_offset_amps=20.0)
+        assert fault.apply(0, 50.0) == 50.0
+        assert fault.apply(1000, 50.0) == pytest.approx(60.0)
+        assert fault.apply(10_000, 50.0) == pytest.approx(70.0)  # clamped
+
+
+class TestSaturation:
+    def test_clips_full_scale_and_floor(self):
+        fault = SaturationFault(80.0, min_amps=20.0)
+        assert fault.apply(0, 95.0) == 80.0
+        assert fault.apply(1, 10.0) == 20.0
+        assert fault.apply(2, 50.0) == 50.0
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ConfigurationError):
+            SaturationFault(10.0, min_amps=10.0)
+
+
+class TestDelayJitter:
+    def test_jittered_reports_are_stale_readings(self):
+        fault = DelayJitterFault(4, 1.0, seed=9)  # always jitter
+        wave = [float(i) for i in range(100)]
+        out = [fault.apply(c, v) for c, v in enumerate(wave)]
+        # every report is a value seen at most 4 cycles earlier
+        for cycle, report in enumerate(out):
+            assert report in wave[max(0, cycle - 4): cycle + 1]
+        assert out != wave  # and staleness actually happened
+
+
+# ----------------------------------------------------------------------
+# Composition
+# ----------------------------------------------------------------------
+
+class TestFaultySensor:
+    def test_composes_in_order(self):
+        # drift (+20 A after clamp) then saturation at 80 A: order matters.
+        drift_then_sat = FaultySensor(
+            [DriftFault(1000.0, max_offset_amps=20.0), SaturationFault(80.0)],
+            base=CurrentSensor(),
+        )
+        sat_then_drift = FaultySensor(
+            [SaturationFault(80.0), DriftFault(1000.0, max_offset_amps=20.0)],
+            base=CurrentSensor(),
+        )
+        for _ in range(100):
+            a = drift_then_sat.read(75.0)
+            b = sat_then_drift.read(75.0)
+        assert a == 80.0   # saturation last clips the drifted reading
+        assert b == 95.0   # drift last escapes the clamp
+
+    def test_base_sensor_still_quantizes(self):
+        sensor = FaultySensor([], base=CurrentSensor(quantum_amps=4.0))
+        assert sensor.read(69.0) == 68.0
+
+    def test_reset_restores_determinism(self):
+        sensor = FaultySensor([DroppedSampleFault(0.5, seed=11)])
+        wave = square_wave(16, 300)
+        first = [sensor.read(v) for v in wave]
+        sensor.reset()
+        second = [sensor.read(v) for v in wave]
+        assert first == second
+
+    def test_rejects_non_fault_entries(self):
+        with pytest.raises(ConfigurationError):
+            FaultySensor([object()])
+
+
+# ----------------------------------------------------------------------
+# Resonant attacker
+# ----------------------------------------------------------------------
+
+class TestResonantAttacker:
+    def test_defaults_to_supply_resonant_period(self):
+        attacker = ResonantAttacker(PowerSupply(TABLE1_SUPPLY), 10.0)
+        assert attacker.period_cycles == RESONANT_PERIOD
+
+    def test_square_wave_alternates_at_half_period(self):
+        supply = PowerSupply(TABLE1_SUPPLY, initial_current=35.0)
+        attacker = ResonantAttacker(supply, 10.0, period_cycles=20, seed=0)
+        injections = []
+        for _ in range(200):
+            injections.append(attacker.attack_current())
+            attacker.step(35.0)
+        assert set(injections) == {0.0, 10.0}
+        # runs of equal value are exactly half a period long (after phase)
+        runs = []
+        count = 1
+        for a, b in zip(injections, injections[1:]):
+            if a == b:
+                count += 1
+            else:
+                runs.append(count)
+                count = 1
+        assert set(runs[1:]) == {10}
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            supply = PowerSupply(TABLE1_SUPPLY, initial_current=35.0)
+            attacker = ResonantAttacker(supply, 8.0, seed=seed)
+            return [attacker.step(40.0) for _ in range(500)]
+
+        assert run(3) == run(3)
+
+    def test_episodes_include_quiet_gaps(self):
+        supply = PowerSupply(TABLE1_SUPPLY, initial_current=35.0)
+        attacker = ResonantAttacker(
+            supply, 10.0, period_cycles=10, episode_periods=2,
+            gap_cycles=30, seed=0,
+        )
+        injections = []
+        for _ in range(200):
+            injections.append(attacker.attack_current())
+            attacker.step(35.0)
+        assert 0.0 in injections and 10.0 in injections
+        # a 20-cycle episode then 30 quiet cycles: at most 40 % duty
+        assert sum(1 for i in injections if i) <= 0.45 * len(injections)
+
+    def test_attack_at_resonance_builds_larger_swing_than_off_band(self):
+        def peak_deviation(period):
+            supply = PowerSupply(TABLE1_SUPPLY, initial_current=35.0)
+            attacker = ResonantAttacker(supply, 10.0, period_cycles=period,
+                                        seed=0)
+            return max(abs(attacker.step(35.0)) for _ in range(3000))
+
+        assert peak_deviation(RESONANT_PERIOD) > 2 * peak_deviation(10)
+
+    def test_delegates_supply_attributes(self):
+        supply = PowerSupply(TABLE1_SUPPLY, initial_current=35.0)
+        attacker = ResonantAttacker(supply, 5.0)
+        assert attacker.config is supply.config
+        attacker.step(35.0)
+        assert attacker.violation_cycles == supply.violation_cycles
+
+    def test_rejects_bad_parameters(self):
+        supply = PowerSupply(TABLE1_SUPPLY)
+        with pytest.raises(ConfigurationError):
+            ResonantAttacker(supply, -1.0)
+        with pytest.raises(ConfigurationError):
+            ResonantAttacker(supply, 1.0, period_cycles=1)
+
+
+class TestAttackProfileMutator:
+    def test_mutated_profile_oscillates_at_resonant_period(self):
+        profile = resonant_attack_profile(SPEC2K["gzip"], TABLE1_SUPPLY,
+                                          ipc_estimate=4.0)
+        assert profile.osc_period_instrs == pytest.approx(
+            RESONANT_PERIOD * 4.0, rel=0.05
+        )
+        assert profile.osc_kind == "serial"
+        assert profile.osc_boost_ilp
+        assert "resonant attacker" in profile.description
+
+    def test_mutated_profile_is_still_valid(self):
+        # replace() re-runs WorkloadProfile validation; success is the test.
+        for name in ("gzip", "mcf", "fma3d"):
+            resonant_attack_profile(SPEC2K[name])
+
+    def test_mutant_provokes_more_violations_than_original(self):
+        from repro.power import PowerSupply as Supply
+        from repro.sim import Simulation
+        from repro.uarch import Processor
+
+        def violations(profile):
+            processor = Processor.from_profile(
+                profile, n_instructions=80_000,
+                config=TABLE1_PROCESSOR, supply_config=TABLE1_SUPPLY,
+            )
+            supply = Supply(TABLE1_SUPPLY, initial_current=35.0)
+            result = Simulation(processor, supply, warmup_cycles=500).run(12_000)
+            return result.violation_cycles
+
+        base = violations(SPEC2K["gzip"])
+        attacked = violations(resonant_attack_profile(SPEC2K["gzip"]))
+        assert attacked > base
+
+    def test_rejects_bad_ipc(self):
+        with pytest.raises(ConfigurationError):
+            resonant_attack_profile(SPEC2K["gzip"], ipc_estimate=0)
+
+
+# ----------------------------------------------------------------------
+# Detector / controller behaviour under faults
+# ----------------------------------------------------------------------
+
+def faulty_controller(faults, **tuning_kwargs):
+    tuning = TuningConfig(**tuning_kwargs) if tuning_kwargs else TABLE1_TUNING
+    return ResonanceTuningController(
+        TABLE1_SUPPLY, TABLE1_PROCESSOR, tuning,
+        sensor=FaultySensor(faults),
+    )
+
+
+class TestDetectorUnderFaults:
+    RESONANT_WAVE = square_wave(2 * 50, 4000)  # inside the 84-119 band
+
+    @pytest.mark.parametrize("faults", [
+        [StuckAtFault(70.0, start_cycle=1500, duration_cycles=600)],
+        [DroppedSampleFault(0.2, seed=1)],
+        [BurstNoiseFault(16.0, burst_probability=0.03, seed=2)],
+        [DriftFault(4.0, max_offset_amps=30.0)],
+        [SaturationFault(85.0)],
+        [DelayJitterFault(6, 0.2, seed=4)],
+    ], ids=["stuck", "drop", "burst", "drift", "saturate", "jitter"])
+    def test_each_model_runs_without_crashing_and_stays_live(self, faults):
+        controller = faulty_controller(faults)
+        drive(controller, self.RESONANT_WAVE)
+        # detection survived the fault: events seen, counters sane
+        assert controller.detector.total_events > 0
+        assert controller.first_level_cycles + controller.second_level_cycles > 0
+        assert controller.max_second_level_hold_cycles <= controller.watchdog_hold_cycles
+
+    def test_nan_readings_are_held_not_propagated(self):
+        controller = faulty_controller([])
+        wave = list(self.RESONANT_WAVE[:1000])
+        for index in range(100, 1000, 7):
+            wave[index] = float("nan")
+        drive(controller, wave)
+        assert controller.detector.nonfinite_samples > 0
+        assert controller.detector.total_events > 0
+        count = controller.detector.current_count(len(wave) - 1)
+        assert isinstance(count, int) and count >= 0
+
+    def test_twenty_percent_drops_still_engage_responses(self):
+        """Acceptance criterion: 20 % dropped samples, no crash, no
+        permanently stuck stall, responses still engage."""
+        controller = faulty_controller([DroppedSampleFault(0.2, seed=6)])
+        drive(controller, square_wave(2 * 50, 12_000))
+        assert controller.second_level_engagements > 0
+        assert controller.max_second_level_hold_cycles <= controller.watchdog_hold_cycles
+        # the stall is a bounded fraction of the run, not a latch-up
+        assert controller.second_level_cycles < 12_000
+
+
+class TestWatchdog:
+    def test_watchdog_releases_stuck_second_level(self):
+        # Open-loop resonant drive never quiets (the "stall" cannot change
+        # the injected waveform), so without the watchdog the second-level
+        # response would never release.
+        controller = faulty_controller([], second_level_watchdog_cycles=300)
+        wave = square_wave(2 * 50, 6000)
+        directives = drive(controller, wave)
+        assert controller.second_level_engagements > 0
+        assert controller.watchdog_releases > 0
+        assert controller.max_second_level_hold_cycles <= 300
+        # after a release the pipeline actually runs: not every later cycle
+        # is stalled
+        stalled = [d.stall_issue for d in directives]
+        first_stall = stalled.index(True)
+        assert not all(stalled[first_stall:])
+
+    def test_longest_hold_is_bounded_by_watchdog(self):
+        controller = faulty_controller([], second_level_watchdog_cycles=200)
+        directives = drive(controller, square_wave(2 * 50, 8000))
+        longest = run_length = 0
+        for directive in directives:
+            run_length = run_length + 1 if directive.stall_issue else 0
+            longest = max(longest, run_length)
+        assert 0 < longest <= 200
+
+    def test_watchdog_never_preempts_healthy_release(self):
+        healthy = faulty_controller([], second_level_watchdog_cycles=50_000)
+        # an episodic wave: resonance then quiet, the normal release path
+        wave = square_wave(2 * 50, 1200) + [65.0] * 2000
+        drive(healthy, wave)
+        assert healthy.second_level_engagements > 0
+        assert healthy.watchdog_releases == 0
+
+    def test_watchdog_must_exceed_response_time(self):
+        with pytest.raises(ConfigurationError):
+            TuningConfig(second_level_response_time=100,
+                         second_level_watchdog_cycles=100)
+
+
+class TestSweepWithFaultySensorIsDeterministic:
+    def test_same_seed_same_summary(self):
+        def summary():
+            runner = BenchmarkRunner(SweepConfig(n_cycles=4000))
+            return runner.sweep(
+                lambda s, p: ResonanceTuningController(
+                    s, p,
+                    sensor=FaultySensor([DroppedSampleFault(0.2, seed=13)]),
+                ),
+                benchmarks=("swim",),
+            )
+
+        assert summary() == summary()
+
+
+class TestPowerGuards:
+    def test_supply_rejects_non_finite_current(self):
+        supply = PowerSupply(TABLE1_SUPPLY, initial_current=35.0)
+        with pytest.raises(FaultError):
+            supply.step(float("nan"))
+        with pytest.raises(FaultError):
+            supply.step(math.inf)
+
+    def test_rlc_rejects_non_finite_parameters(self):
+        from dataclasses import replace
+        from repro.errors import CircuitError
+
+        bad = replace(TABLE1_SUPPLY, inductance_henries=float("nan"))
+        with pytest.raises(CircuitError):
+            RLCAnalysis(bad)

@@ -23,3 +23,12 @@ for name in sorted(SPEC2K):
           f"tunedViol={m.violation_fraction:.2e} slow={m.slowdown:.3f} ED={m.energy_delay:.3f} "
           f"L1={m.first_level_fraction:.3f} L2={m.second_level_fraction:.4f}{flag}")
 print(f"\n{len(bad)} problems: {bad}  ({time.time()-t0:.0f}s)")
+
+print("\n--- fault-injection campaign (quick) ---")
+t1 = time.time()
+from repro.experiments.faults import run as run_fault_injection
+fault_result = run_fault_injection(
+    n_cycles=6000, benchmarks=("swim",), intensities=(0.3,)
+)
+print(fault_result.render())
+print(f"({time.time()-t1:.0f}s)")
