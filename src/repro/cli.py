@@ -15,6 +15,7 @@ overridden with flags, so the tool doubles as a quick design-space probe.
 from __future__ import annotations
 
 import argparse
+import functools
 from dataclasses import replace
 from typing import Optional, Sequence
 
@@ -86,61 +87,84 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+# Module-level controller builders: ``functools.partial`` over these
+# pickles by qualified name, so CLI-built factories survive the trip to
+# the parallel sweep backend's worker processes.
+
+def _build_tuning(supply, processor, tuning):
+    from repro.core.tuning import ResonanceTuningController
+
+    return ResonanceTuningController(supply, processor, tuning)
+
+
+def _build_voltage_threshold(
+    supply, processor, threshold_volts, noise_volts, delay_cycles
+):
+    from repro.baselines.voltage_threshold import VoltageThresholdController
+
+    return VoltageThresholdController(
+        supply,
+        processor,
+        target_threshold_volts=threshold_volts,
+        sensor_noise_pp_volts=noise_volts,
+        delay_cycles=delay_cycles,
+    )
+
+
+def _build_damping(supply, processor, delta_amps):
+    from repro.baselines.damping import PipelineDampingController
+
+    return PipelineDampingController(supply, processor, delta_amps)
+
+
+def _build_convolution(supply, processor, estimate_gain):
+    from repro.baselines.convolution import ConvolutionController
+
+    return ConvolutionController(supply, processor, estimate_gain=estimate_gain)
+
+
 def _technique_factory(args):
     name = args.technique
     if name == "tuning":
-        tuning = TuningConfig(initial_response_time=args.response_time)
-
-        def factory(supply, processor):
-            from repro.core.tuning import ResonanceTuningController
-
-            return ResonanceTuningController(supply, processor, tuning)
-
-    elif name == "voltage-threshold":
-        def factory(supply, processor):
-            from repro.baselines.voltage_threshold import (
-                VoltageThresholdController,
-            )
-
-            return VoltageThresholdController(
-                supply,
-                processor,
-                target_threshold_volts=args.threshold_mv * 1e-3,
-                sensor_noise_pp_volts=args.noise_mv * 1e-3,
-                delay_cycles=args.delay,
-            )
-
-    elif name == "damping":
-        def factory(supply, processor):
-            from repro.baselines.damping import PipelineDampingController
-
-            return PipelineDampingController(supply, processor, args.delta_amps)
-
-    elif name == "convolution":
-        def factory(supply, processor):
-            from repro.baselines.convolution import ConvolutionController
-
-            return ConvolutionController(
-                supply, processor, estimate_gain=args.estimate_gain
-            )
-
-    else:  # pragma: no cover - argparse restricts choices
-        raise ReproError(f"unknown technique {name}")
-    return factory
+        return functools.partial(
+            _build_tuning,
+            tuning=TuningConfig(initial_response_time=args.response_time),
+        )
+    if name == "voltage-threshold":
+        return functools.partial(
+            _build_voltage_threshold,
+            threshold_volts=args.threshold_mv * 1e-3,
+            noise_volts=args.noise_mv * 1e-3,
+            delay_cycles=args.delay,
+        )
+    if name == "damping":
+        return functools.partial(_build_damping, delta_amps=args.delta_amps)
+    if name == "convolution":
+        return functools.partial(
+            _build_convolution, estimate_gain=args.estimate_gain
+        )
+    raise ReproError(f"unknown technique {name}")  # pragma: no cover
 
 
 def _cmd_compare(args) -> int:
-    from repro.sim.runner import BenchmarkRunner, SweepConfig
+    from repro.sim.runner import (
+        BenchmarkRunner,
+        ResilienceConfig,
+        SweepConfig,
+    )
 
-    runner = BenchmarkRunner(SweepConfig(n_cycles=args.cycles))
     factory = _technique_factory(args)
     benchmarks = args.benchmarks or ["swim", "parser", "fma3d"]
+    with BenchmarkRunner(SweepConfig(n_cycles=args.cycles)) as runner:
+        summary = runner.sweep(
+            factory,
+            benchmarks=benchmarks,
+            resilience=ResilienceConfig(workers=args.workers),
+        )
     print(f"{'benchmark':10s} {'base viol':>10s} {'tech viol':>10s}"
           f" {'slowdown':>9s} {'E*D':>7s}")
-    for name in benchmarks:
-        base = runner.run_base(name)
-        metrics = runner.compare(name, factory)
-        print(f"{name:10s} {base.violation_fraction:10.2e}"
+    for metrics in summary.per_benchmark:
+        print(f"{metrics.benchmark:10s} {metrics.base_violation_fraction:10.2e}"
               f" {metrics.violation_fraction:10.2e}"
               f" {metrics.slowdown:9.3f} {metrics.energy_delay:7.3f}")
     return 0
@@ -195,6 +219,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="damping: allowed window variation (A)")
     compare.add_argument("--estimate-gain", type=float, default=1.0,
                          help="convolution: systematic estimate gain")
+    compare.add_argument("--workers", type=int, default=1,
+                         help="worker processes for the comparison sweep")
     compare.set_defaults(func=_cmd_compare)
 
     experiment = commands.add_parser("experiment", help="regenerate a paper artifact")

@@ -6,10 +6,12 @@ set for a fast sanity pass.  Every table and figure in the paper's
 evaluation has an entry.
 
 Resilience flags (``--checkpoint``, ``--resume``, ``--max-retries``,
-``--timeout-s``) build a :class:`~repro.sim.runner.ResilienceConfig` that
-:func:`run_experiment` installs as the process-wide default, so every
-sweep an experiment performs -- however deeply it constructs its runners
--- checkpoints after each completed cell and survives flaky ones.
+``--timeout-s``, ``--workers``) build a
+:class:`~repro.sim.runner.ResilienceConfig` that :func:`run_experiment`
+installs as the process-wide default, so every sweep an experiment
+performs -- however deeply it constructs its runners -- checkpoints after
+each completed cell, survives flaky ones, and fans cells out to worker
+processes when asked.
 """
 
 from __future__ import annotations
@@ -194,6 +196,12 @@ def add_resilience_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="wall-clock budget per sweep cell in seconds",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep cells (1 = sequential, in-process)",
+    )
 
 
 def resilience_from_args(args) -> Optional[ResilienceConfig]:
@@ -201,11 +209,13 @@ def resilience_from_args(args) -> Optional[ResilienceConfig]:
     checkpoint = args.checkpoint
     if args.resume and checkpoint is None:
         checkpoint = DEFAULT_CHECKPOINT
+    workers = getattr(args, "workers", 1)
     if (
         checkpoint is None
         and not args.resume
         and args.max_retries == 0
         and args.timeout_s is None
+        and workers == 1
     ):
         return None
     return ResilienceConfig(
@@ -213,6 +223,7 @@ def resilience_from_args(args) -> Optional[ResilienceConfig]:
         max_retries=args.max_retries,
         checkpoint_path=checkpoint,
         resume=args.resume,
+        workers=workers,
     )
 
 

@@ -10,6 +10,7 @@ violation count, which must be zero for the technique's guarantee.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
@@ -62,6 +63,11 @@ class Table3Result:
         )
 
 
+def _tuned_controller(supply, processor, tuning):
+    """Module-level builder so sweep factories pickle for worker processes."""
+    return ResonanceTuningController(supply, processor, tuning)
+
+
 def run(
     initial_response_times: Sequence[int] = (75, 100, 125, 150, 200),
     n_cycles: int = 60_000,
@@ -76,9 +82,6 @@ def run(
     summaries = []
     for time_value in initial_response_times:
         tuned = replace(base_tuning, initial_response_time=time_value)
-
-        def factory(supply, processor, _tuned=tuned):
-            return ResonanceTuningController(supply, processor, _tuned)
-
+        factory = functools.partial(_tuned_controller, tuning=tuned)
         summaries.append((time_value, runner.sweep(factory, benchmarks)))
     return Table3Result(summaries=tuple(summaries), n_cycles=config.n_cycles)

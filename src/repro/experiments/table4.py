@@ -9,6 +9,7 @@ delay force lower actual thresholds and degrade the technique sharply.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -85,6 +86,17 @@ class Table4Result:
         )
 
 
+def _vt_controller(supply, processor, config):
+    """Module-level builder so sweep factories pickle for worker processes."""
+    return VoltageThresholdController(
+        supply,
+        processor,
+        target_threshold_volts=config.target_mv * 1e-3,
+        sensor_noise_pp_volts=config.noise_mv * 1e-3,
+        delay_cycles=config.delay_cycles,
+    )
+
+
 def run(
     configs: Sequence[VTConfig] = PAPER_CONFIGS,
     n_cycles: int = 60_000,
@@ -96,14 +108,6 @@ def run(
     runner = BenchmarkRunner(sweep)
     summaries = []
     for config in configs:
-        def factory(supply, processor, _c=config):
-            return VoltageThresholdController(
-                supply,
-                processor,
-                target_threshold_volts=_c.target_mv * 1e-3,
-                sensor_noise_pp_volts=_c.noise_mv * 1e-3,
-                delay_cycles=_c.delay_cycles,
-            )
-
+        factory = functools.partial(_vt_controller, config=config)
         summaries.append((config, runner.sweep(factory, benchmarks)))
     return Table4Result(summaries=tuple(summaries), n_cycles=sweep.n_cycles)

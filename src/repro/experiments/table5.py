@@ -10,6 +10,7 @@ tighten: at 1x the band is not covered and violations survive.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -59,6 +60,11 @@ class Table5Result:
         )
 
 
+def _damping_controller(supply, processor, delta_amps):
+    """Module-level builder so sweep factories pickle for worker processes."""
+    return PipelineDampingController(supply, processor, delta_amps)
+
+
 def run(
     relative_deltas: Sequence[float] = (1.0, 0.5, 0.25),
     n_cycles: int = 60_000,
@@ -73,10 +79,7 @@ def run(
     summaries = []
     for relative_delta in relative_deltas:
         delta_amps = relative_delta * threshold
-
-        def factory(supply, processor, _delta=delta_amps):
-            return PipelineDampingController(supply, processor, _delta)
-
+        factory = functools.partial(_damping_controller, delta_amps=delta_amps)
         summaries.append((relative_delta, runner.sweep(factory, benchmarks)))
     return Table5Result(
         summaries=tuple(summaries),

@@ -58,8 +58,18 @@ class ResonanceBand:
 
     @property
     def half_periods(self) -> range:
-        """All half-periods (in cycles) the detector must cover (Section 3.1.3)."""
-        return range(self.min_period_cycles // 2, self.max_period_cycles // 2 + 1)
+        """All half-periods (in cycles) the detector must cover (Section 3.1.3).
+
+        The low edge uses ceiling division: for an odd ``min_period_cycles``
+        plain truncation would start the range at a half-period whose full
+        period lies *below* the band, so the detector's shortest probe
+        window sat out-of-band while the band's own short edge went
+        uncovered by a dedicated adder.  ``84-119`` cycles (Table 1) is
+        unaffected; an odd-edged band like ``85-119`` now starts at 43.
+        """
+        return range(
+            (self.min_period_cycles + 1) // 2, self.max_period_cycles // 2 + 1
+        )
 
 
 class RLCAnalysis:

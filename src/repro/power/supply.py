@@ -94,6 +94,20 @@ class PowerSupply:
         if self._record:
             self.trace = SupplyTrace()
 
+    def reset_violation_tracking(self) -> None:
+        """Forget in-progress violation bookkeeping at a measurement boundary.
+
+        Called by the simulation loop at the end of warmup:
+        ``first_violation_cycle`` set by a warmup transient must not leak
+        into steady-state results (the paper measures violations in steady
+        state only), and a violation spanning the boundary must register as
+        a fresh steady-state event rather than riding on a warmup-started
+        one.  Cumulative counters are untouched -- the caller differences
+        them against its own snapshot.
+        """
+        self.first_violation_cycle = None
+        self._in_violation = False
+
     def step(self, cpu_current: float) -> float:
         """Advance one cycle; return the IR-drop-corrected voltage deviation.
 

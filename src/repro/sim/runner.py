@@ -13,14 +13,31 @@ cell, so a killed sweep resumes exactly where it stopped (see
 ``docs/robustness.md``).  Cells that exhaust their retry budget become
 structured :class:`FailureReport` entries on the :class:`TechniqueSummary`
 instead of aborting the whole sweep.
+
+Sweeps are also *parallel*: ``ResilienceConfig(workers=N)`` dispatches the
+(benchmark, seed) cell grid to a ``ProcessPoolExecutor``.  Each worker
+process rebuilds its own :class:`BenchmarkRunner` from a picklable spec --
+no simulator state ever crosses a process boundary -- and keeps a warm
+base-run cache across the cells it executes.  Cells are deterministic and
+independent (retry attempt ``k`` always reseeds to ``seed + 104729 * k``),
+so the parallel backend produces aggregates, checkpoints and failure
+reports bit-identical to the sequential one: checkpoints are written from
+the parent in completion order but keyed by the same cell keys, and rows
+are always aggregated in grid order.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import pickle
+import signal
 import threading
+import time
+import warnings
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, fields
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -56,8 +73,8 @@ SupplyTransform = Callable[[PowerSupply, str], PowerSupply]
 #: Process-wide fallback resilience, installed temporarily by
 #: :func:`repro.experiments.registry.run_experiment` so experiments that
 #: build their own runners deep inside still honour ``--resume`` /
-#: ``--timeout-s`` / ``--max-retries`` without threading a parameter
-#: through every experiment signature.
+#: ``--timeout-s`` / ``--max-retries`` / ``--workers`` without threading a
+#: parameter through every experiment signature.
 DEFAULT_RESILIENCE: Optional["ResilienceConfig"] = None
 
 #: Seed stride between retry attempts: a failed cell re-runs on a freshly
@@ -98,7 +115,7 @@ class SweepConfig:
 
 @dataclass(frozen=True)
 class ResilienceConfig:
-    """Fault tolerance for a sweep: timeout, retries, checkpointing."""
+    """Fault tolerance and execution backend for a sweep."""
 
     #: wall-clock budget per (benchmark, technique, seed) cell; None = none
     timeout_s: Optional[float] = None
@@ -109,6 +126,8 @@ class ResilienceConfig:
     checkpoint_path: Optional[str] = None
     #: load the checkpoint and skip already-completed cells
     resume: bool = False
+    #: worker processes executing sweep cells; 1 = in-process (sequential)
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.timeout_s is not None and self.timeout_s <= 0:
@@ -117,6 +136,8 @@ class ResilienceConfig:
             raise ConfigurationError("max_retries must be non-negative")
         if self.resume and self.checkpoint_path is None:
             raise ConfigurationError("resume requires a checkpoint_path")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -153,7 +174,16 @@ class SeedStatistics:
 
 @dataclass(frozen=True)
 class TechniqueSummary:
-    """Aggregate of one technique over many benchmarks (a table row)."""
+    """Aggregate of one technique over many benchmarks (a table row).
+
+    Summaries returned by :meth:`BenchmarkRunner.sweep` additionally carry
+    a ``timings`` attribute -- a per-phase wall-clock breakdown (setup /
+    execute / checkpoint_io / aggregate / total seconds plus the worker
+    count and cell counts).  It is a diagnostic attached outside the
+    dataclass fields, so equality and serialisation of summaries stay
+    timing-independent (a resumed sweep still compares byte-identical to an
+    uninterrupted one).
+    """
 
     technique: str
     avg_slowdown: float
@@ -214,15 +244,39 @@ def _metrics_from_dict(data: dict) -> RelativeMetrics:
     return RelativeMetrics(**{k: v for k, v in data.items() if k in names})
 
 
-def _call_with_timeout(fn: Callable[[], object], timeout_s: Optional[float]):
-    """Run ``fn`` bounded by ``timeout_s`` of wall-clock time.
+# ----------------------------------------------------------------------
+# Per-cell timeouts
+# ----------------------------------------------------------------------
 
-    The work runs on a daemon thread so a hung cell cannot wedge the sweep;
-    on timeout the thread is abandoned (Python offers no preemptive kill)
-    and a :class:`FaultError` raised.  Without a timeout, runs inline.
+def _call_with_alarm(fn: Callable[[], object], timeout_s: float):
+    """Interrupt ``fn`` with SIGALRM after ``timeout_s`` (main thread only).
+
+    The interval timer preempts the running cell in place -- no helper
+    thread is created, so a timed-out cell leaves nothing behind.  The
+    previous handler and timer are restored on exit.
     """
-    if timeout_s is None:
+
+    def on_alarm(signum, frame):
+        raise FaultError(
+            f"run exceeded the wall-clock timeout of {timeout_s:g} s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
         return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _call_with_thread(fn: Callable[[], object], timeout_s: float):
+    """Legacy timeout for contexts where SIGALRM is unavailable.
+
+    The work runs on a daemon thread; on expiry the thread is abandoned
+    (Python offers no preemptive kill off the main thread) and a
+    :class:`FaultError` raised.
+    """
     outcome: dict = {}
 
     def target():
@@ -243,6 +297,72 @@ def _call_with_timeout(fn: Callable[[], object], timeout_s: Optional[float]):
     return outcome["value"]
 
 
+def _call_with_timeout(fn: Callable[[], object], timeout_s: Optional[float]):
+    """Run ``fn`` bounded by ``timeout_s`` of wall-clock time.
+
+    On the main thread of a process (the sequential sweep loop, and every
+    pool worker) the bound is enforced with an interval timer, which
+    preempts the cell without spawning -- or leaking -- any thread.  Off
+    the main thread, or where SIGALRM does not exist, the old abandon-a-
+    daemon-thread fallback applies.  Without a timeout, runs inline.
+    """
+    if timeout_s is None:
+        return fn()
+    if (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        return _call_with_alarm(fn, timeout_s)
+    return _call_with_thread(fn, timeout_s)
+
+
+# ----------------------------------------------------------------------
+# Worker-process entry points
+# ----------------------------------------------------------------------
+
+#: Per-worker-process cache: the runner rebuilt from the last cell spec.
+#: Keeping it across cells lets one worker reuse base runs (and their LRU
+#: bound) exactly as the sequential path does within its own process.
+_WORKER_STATE: dict = {}
+
+
+def _worker_run_cell(
+    spec_blob: bytes,
+    factory: ControllerFactory,
+    benchmark: str,
+    technique: str,
+    seed: Optional[int],
+    timeout_s: Optional[float],
+    max_retries: int,
+):
+    """Execute one sweep cell inside a pool worker.
+
+    ``spec_blob`` pickles ``(sweep_config, supply_transform,
+    max_base_cache_entries)``; the worker rebuilds a private
+    :class:`BenchmarkRunner` from it (cached until the spec changes) so no
+    simulator state is shared with the parent or with sibling workers.
+    Timeouts run through the same :func:`_call_with_timeout` as the
+    sequential path -- pool workers execute cells on their main thread, so
+    the SIGALRM bound applies and a timed-out cell dies in place instead of
+    leaking a live thread.
+    """
+    if _WORKER_STATE.get("spec") != spec_blob:
+        config, supply_transform, max_base_cache_entries = pickle.loads(
+            spec_blob
+        )
+        _WORKER_STATE["runner"] = BenchmarkRunner(
+            config,
+            supply_transform=supply_transform,
+            max_base_cache_entries=max_base_cache_entries,
+        )
+        _WORKER_STATE["spec"] = spec_blob
+    runner: "BenchmarkRunner" = _WORKER_STATE["runner"]
+    resilience = ResilienceConfig(timeout_s=timeout_s, max_retries=max_retries)
+    return runner._run_cell(
+        benchmark, technique, factory, resilience, base_seed=seed
+    )
+
+
 class BenchmarkRunner:
     """Runs benchmarks against controller factories, caching base runs.
 
@@ -261,6 +381,11 @@ class BenchmarkRunner:
     max_base_cache_entries:
         Bound on the cached base runs (LRU eviction), so long multi-seed
         sweeps cannot grow memory without limit.
+
+    A runner used with ``workers > 1`` owns a lazily created process pool;
+    :meth:`close` (or use as a context manager) releases it.  The pool is
+    kept alive between sweeps so worker-side base-run caches stay warm
+    across the technique variants of one experiment.
     """
 
     def __init__(
@@ -279,6 +404,38 @@ class BenchmarkRunner:
         self._base_cache: "OrderedDict[tuple, SimulationResult]" = OrderedDict()
         self._checkpoint_cells: Optional[Dict[str, dict]] = None
         self._sweep_count = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_workers = 0
+
+    # ------------------------------------------------------------------
+    # Process-pool lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool, if one was created."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+            self._executor_workers = 0
+
+    def __enter__(self) -> "BenchmarkRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
+        if self._executor is not None and self._executor_workers != workers:
+            self.close()
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+            self._executor_workers = workers
+        return self._executor
 
     # ------------------------------------------------------------------
     # Building and running single cells
@@ -312,11 +469,22 @@ class BenchmarkRunner:
             warmup_cycles=config.warmup_cycles,
         )
 
+    def _base_key(self, benchmark: str, seed: Optional[int]) -> tuple:
+        """Cache key of one base run.
+
+        The sweep configuration (and the supply transform, compared by
+        identity) is part of the key: ``config`` is a plain attribute, so a
+        runner whose configuration is swapped between runs -- an ablation
+        grid reusing one cache-shaped workflow -- must not be served a base
+        run computed under the old configuration.
+        """
+        return (benchmark, seed, self.config, self.supply_transform)
+
     def run_base(
         self, benchmark: str, seed: Optional[int] = None
     ) -> SimulationResult:
         """Run (or fetch the cached) uncontrolled base configuration."""
-        key = (benchmark, seed)
+        key = self._base_key(benchmark, seed)
         if key in self._base_cache:
             self._base_cache.move_to_end(key)
             return self._base_cache[key]
@@ -445,8 +613,9 @@ class BenchmarkRunner:
         technique: str,
         factory: ControllerFactory,
         resilience: ResilienceConfig,
+        base_seed: Optional[int] = None,
     ):
-        """One (benchmark, technique) cell with timeout and bounded retry.
+        """One (benchmark, technique, seed) cell with timeout and retry.
 
         Returns ``(metrics, None)`` on success or ``(None, FailureReport)``
         once every attempt -- the original run plus ``max_retries``
@@ -455,14 +624,16 @@ class BenchmarkRunner:
         stops at a checkpointed boundary instead of "retrying" the kill.
         """
         last_error: Optional[BaseException] = None
-        seed: Optional[int] = None
+        seed = base_seed
         attempts = resilience.max_retries + 1
         for attempt in range(attempts):
-            seed = (
-                None
-                if attempt == 0
-                else SPEC2K[benchmark].seed + _RESEED_STRIDE * attempt
-            )
+            if attempt:
+                origin = (
+                    base_seed
+                    if base_seed is not None
+                    else SPEC2K[benchmark].seed
+                )
+                seed = origin + _RESEED_STRIDE * attempt
             try:
                 metrics = _call_with_timeout(
                     lambda: self.compare(benchmark, factory, seed=seed),
@@ -480,14 +651,46 @@ class BenchmarkRunner:
             message=str(last_error),
         )
 
+    def _effective_workers(
+        self,
+        resilience: ResilienceConfig,
+        factory: ControllerFactory,
+        n_pending: int,
+    ) -> int:
+        """Workers actually usable for this sweep (1 = run in-process).
+
+        The parallel backend needs the cell spec -- sweep configuration,
+        supply transform and controller factory -- to cross a process
+        boundary; a spec that does not pickle (a closure-built factory, a
+        transform closed over live simulator objects) degrades to the
+        sequential path with a warning rather than failing the sweep.
+        """
+        if resilience.workers <= 1 or n_pending <= 1:
+            return 1
+        try:
+            pickle.dumps(
+                (self.config, self.supply_transform, factory),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception as error:
+            warnings.warn(
+                f"parallel sweep disabled: cell spec is not picklable"
+                f" ({type(error).__name__}: {error}); running sequentially",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return 1
+        return min(resilience.workers, n_pending)
+
     def sweep(
         self,
         factory: ControllerFactory,
         benchmarks: Optional[Sequence[str]] = None,
         progress: Optional[Callable[[str, RelativeMetrics], None]] = None,
         resilience: Optional[ResilienceConfig] = None,
+        seeds: Optional[Sequence[Optional[int]]] = None,
     ) -> TechniqueSummary:
-        """Run one technique over a benchmark list and aggregate.
+        """Run one technique over a (benchmark, seed) grid and aggregate.
 
         With a :class:`ResilienceConfig` (passed here, on the runner, or via
         :data:`DEFAULT_RESILIENCE`), each completed cell is appended to the
@@ -495,37 +698,82 @@ class BenchmarkRunner:
         re-seeded traces and finally reported as :class:`FailureReport`
         entries, and ``resume=True`` skips cells already in the checkpoint
         -- producing a summary identical to an uninterrupted sweep.
+
+        ``seeds`` widens the grid: every benchmark runs once per seed
+        (default ``(None,)``, today's single-run behaviour), with each
+        (benchmark, seed) pair checkpointed as its own cell.
+
+        ``workers > 1`` executes pending cells on a process pool.  The
+        summary (rows, failure order, aggregates) is bit-identical to a
+        sequential sweep -- rows are assembled in grid order regardless of
+        completion order -- and the final checkpoint file is byte-identical
+        (cells are keyed, and the JSON is written with sorted keys).  Only
+        the ``progress`` callback order differs: sequential sweeps report
+        cells in grid order, parallel sweeps in completion order (cached
+        cells first).
+
+        The returned summary carries a ``timings`` attribute with the
+        per-phase wall-clock breakdown (see :class:`TechniqueSummary`).
         """
+        t_total = time.perf_counter()
         resilience = self._resolve_resilience(resilience)
         names = list(benchmarks) if benchmarks is not None else sorted(SPEC2K)
+        seed_list: List[Optional[int]] = (
+            list(seeds) if seeds is not None else [None]
+        )
+        if not seed_list:
+            raise ConfigurationError("seeds must be non-empty when given")
         # One probe controller names the technique (cells are keyed by it).
         technique = factory(self.config.supply, self.config.processor).name
         cells = self._load_cells(resilience)
         ordinal = self._sweep_count
         self._sweep_count += 1
+        grid = [(name, seed) for name in names for seed in seed_list]
 
+        results: Dict[Tuple[str, Optional[int]], RelativeMetrics] = {}
+        failure_map: Dict[Tuple[str, Optional[int]], FailureReport] = {}
+        pending: List[Tuple[str, Optional[int]]] = []
+        for name, seed in grid:
+            key = _cell_key(ordinal, name, technique, seed)
+            if key in cells:
+                results[(name, seed)] = _metrics_from_dict(cells[key])
+            else:
+                pending.append((name, seed))
+        workers = self._effective_workers(resilience, factory, len(pending))
+        timings = {
+            "workers": float(workers),
+            "cells_total": float(len(grid)),
+            "cells_cached": float(len(grid) - len(pending)),
+            "setup": time.perf_counter() - t_total,
+            "checkpoint_io": 0.0,
+        }
+
+        t_execute = time.perf_counter()
+        if workers > 1:
+            self._execute_parallel(
+                pending, ordinal, technique, factory, resilience, workers,
+                progress, cells, results, failure_map, timings, grid,
+            )
+        else:
+            self._execute_sequential(
+                grid, ordinal, technique, factory, resilience,
+                progress, cells, results, failure_map, timings,
+            )
+        timings["execute"] = time.perf_counter() - t_execute
+
+        t_aggregate = time.perf_counter()
         rows: List[RelativeMetrics] = []
         failures: List[FailureReport] = []
         violation_cycles = 0
-        for name in names:
-            key = _cell_key(ordinal, name, technique, None)
-            if key in cells:
-                metrics = _metrics_from_dict(cells[key])
-            else:
-                metrics, failure = self._run_cell(
-                    name, technique, factory, resilience
+        for cell in grid:
+            metrics = results.get(cell)
+            if metrics is not None:
+                rows.append(metrics)
+                violation_cycles += round(
+                    metrics.violation_fraction * self.config.n_cycles
                 )
-                if failure is not None:
-                    failures.append(failure)
-                    continue
-                cells[key] = asdict(metrics)
-                self._save_cells(resilience)
-            rows.append(metrics)
-            violation_cycles += round(
-                metrics.violation_fraction * self.config.n_cycles
-            )
-            if progress is not None:
-                progress(name, metrics)
+            elif cell in failure_map:
+                failures.append(failure_map[cell])
         if not rows:
             detail = "; ".join(
                 f"{f.benchmark}: {f.error_type}: {f.message}" for f in failures
@@ -533,7 +781,126 @@ class BenchmarkRunner:
             raise FaultError(
                 f"every cell of the {technique!r} sweep failed ({detail})"
             )
-        return summarize(rows, violation_cycles, failures=tuple(failures))
+        summary = summarize(rows, violation_cycles, failures=tuple(failures))
+        timings["aggregate"] = time.perf_counter() - t_aggregate
+        timings["total"] = time.perf_counter() - t_total
+        # Diagnostic attribute, deliberately outside the dataclass fields
+        # (see TechniqueSummary): summaries stay comparable across backends.
+        object.__setattr__(summary, "timings", timings)
+        return summary
+
+    def _execute_sequential(
+        self,
+        grid: Sequence[Tuple[str, Optional[int]]],
+        ordinal: int,
+        technique: str,
+        factory: ControllerFactory,
+        resilience: ResilienceConfig,
+        progress: Optional[Callable[[str, RelativeMetrics], None]],
+        cells: Dict[str, dict],
+        results: Dict[Tuple[str, Optional[int]], RelativeMetrics],
+        failure_map: Dict[Tuple[str, Optional[int]], FailureReport],
+        timings: Dict[str, float],
+    ) -> None:
+        """Run pending cells in-process, in grid order."""
+        for name, seed in grid:
+            cell = (name, seed)
+            if cell in results:  # resumed from the checkpoint
+                if progress is not None:
+                    progress(name, results[cell])
+                continue
+            metrics, failure = self._run_cell(
+                name, technique, factory, resilience, base_seed=seed
+            )
+            if failure is not None:
+                failure_map[cell] = failure
+                continue
+            results[cell] = metrics
+            cells[_cell_key(ordinal, name, technique, seed)] = asdict(metrics)
+            t_io = time.perf_counter()
+            self._save_cells(resilience)
+            timings["checkpoint_io"] += time.perf_counter() - t_io
+            if progress is not None:
+                progress(name, metrics)
+
+    def _execute_parallel(
+        self,
+        pending: Sequence[Tuple[str, Optional[int]]],
+        ordinal: int,
+        technique: str,
+        factory: ControllerFactory,
+        resilience: ResilienceConfig,
+        workers: int,
+        progress: Optional[Callable[[str, RelativeMetrics], None]],
+        cells: Dict[str, dict],
+        results: Dict[Tuple[str, Optional[int]], RelativeMetrics],
+        failure_map: Dict[Tuple[str, Optional[int]], FailureReport],
+        timings: Dict[str, float],
+        grid: Sequence[Tuple[str, Optional[int]]],
+    ) -> None:
+        """Run pending cells on the process pool.
+
+        The parent writes the checkpoint as cells complete (completion
+        order, but cell-keyed, so the final file is byte-identical to a
+        sequential run's) and reports ``progress`` in completion order.
+        Cached cells are reported first, in grid order.
+        """
+        if progress is not None:
+            for cell in grid:
+                if cell in results:
+                    progress(cell[0], results[cell])
+        spec_blob = pickle.dumps(
+            (self.config, self.supply_transform, self.max_base_cache_entries),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        executor = self._ensure_executor(workers)
+        futures = {
+            executor.submit(
+                _worker_run_cell,
+                spec_blob,
+                factory,
+                name,
+                technique,
+                seed,
+                resilience.timeout_s,
+                resilience.max_retries,
+            ): (name, seed)
+            for name, seed in pending
+        }
+        try:
+            for future in as_completed(futures):
+                name, seed = futures[future]
+                try:
+                    metrics, failure = future.result()
+                except BrokenProcessPool as error:
+                    # A worker died hard (OOM kill, segfault): the pool is
+                    # poisoned.  Completed cells are already checkpointed,
+                    # so a --resume continues from here.
+                    self.close()
+                    raise FaultError(
+                        f"worker process died while running cell"
+                        f" ({name!r}, seed={seed!r}): {error}; completed"
+                        f" cells are checkpointed -- resume to continue"
+                    ) from error
+                if failure is not None:
+                    failure_map[(name, seed)] = failure
+                    continue
+                results[(name, seed)] = metrics
+                cells[_cell_key(ordinal, name, technique, seed)] = asdict(
+                    metrics
+                )
+                t_io = time.perf_counter()
+                self._save_cells(resilience)
+                timings["checkpoint_io"] += time.perf_counter() - t_io
+                if progress is not None:
+                    progress(name, metrics)
+        except BaseException:
+            # A kill (or a progress-raised abort) must not strand queued
+            # work: unstarted cells are cancelled, in-flight results
+            # discarded.  The checkpoint holds everything completed so far.
+            for future in futures:
+                future.cancel()
+            raise
 
 
 def summarize(

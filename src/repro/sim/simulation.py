@@ -71,6 +71,14 @@ class Simulation:
         snapshot = self._snapshot()
         for cycle in range(self.warmup_cycles + n_cycles):
             if cycle == self.warmup_cycles:
+                # Steady state starts here: warmup transients must neither
+                # pin first_violation_cycle nor merge a boundary-spanning
+                # violation into a warmup-started event.
+                reset_tracking = getattr(
+                    supply, "reset_violation_tracking", None
+                )
+                if reset_tracking is not None:
+                    reset_tracking()
                 snapshot = self._snapshot()
             directives = controller.directives(cycle)
             stats = processor.step(directives)

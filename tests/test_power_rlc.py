@@ -11,7 +11,7 @@ from repro.config import (
     TABLE1_SUPPLY,
 )
 from repro.errors import CircuitError
-from repro.power.rlc import RLCAnalysis, impedance_sweep
+from repro.power.rlc import ResonanceBand, RLCAnalysis, impedance_sweep
 
 
 @pytest.fixture
@@ -121,6 +121,26 @@ class TestQualityFactorAndBand:
         half_periods = table1.band.half_periods
         assert half_periods[0] == 42
         assert half_periods[-1] == 59
+
+    def test_half_periods_odd_low_edge_rounds_up(self):
+        """Regression: an odd low edge must use ceiling division.
+
+        With truncation a band of 85-119 cycles started its half-period
+        range at 42, i.e. a 84-cycle full period *below* the band; the
+        shortest in-band period got no dedicated detector window.
+        """
+        odd = ResonanceBand(
+            low_hz=84e6, high_hz=117.6e6,
+            min_period_cycles=85, max_period_cycles=119,
+        )
+        assert odd.half_periods.start == 43
+        assert 2 * odd.half_periods.start >= odd.min_period_cycles
+        assert odd.half_periods[-1] == 59
+        even = ResonanceBand(
+            low_hz=84e6, high_hz=119e6,
+            min_period_cycles=84, max_period_cycles=119,
+        )
+        assert even.half_periods.start == 42
 
     def test_bandwidth_is_f0_over_q(self, table1):
         expected = table1.resonant_frequency_hz / table1.quality_factor

@@ -137,6 +137,32 @@ class TestPowerSupply:
         supply = PowerSupply(TABLE1_SUPPLY)
         assert supply.violation_fraction == 0.0
 
+    def test_reset_violation_tracking_keeps_cumulative_counters(self):
+        analysis = RLCAnalysis(TABLE1_SUPPLY)
+        wave = waveforms.square_wave(
+            1500, analysis.resonant_period_cycles, amplitude_pp=60.0, mean=70.0
+        )
+        supply = PowerSupply(TABLE1_SUPPLY, initial_current=70.0)
+        supply.run(wave)
+        assert supply.first_violation_cycle is not None
+        cycles_before = supply.violation_cycles
+        events_before = supply.violation_events
+        boundary = supply.cycle
+
+        supply.reset_violation_tracking()
+        # Cumulative counters survive -- callers difference them against
+        # their own snapshots -- but the in-progress bookkeeping is gone.
+        assert supply.violation_cycles == cycles_before
+        assert supply.violation_events == events_before
+        assert supply.first_violation_cycle is None
+
+        # Violations after the boundary register afresh: a new first cycle
+        # on the post-boundary side and at least one new event.
+        supply.run(wave)
+        assert supply.first_violation_cycle is not None
+        assert supply.first_violation_cycle >= boundary
+        assert supply.violation_events > events_before
+
 
 class TestWaveforms:
     def test_square_wave_levels(self):

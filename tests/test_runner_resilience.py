@@ -97,7 +97,16 @@ class TestBaseCache:
         runner.run_base("swim", seed=3)      # evicts seed=2, not a
         assert len(runner._base_cache) == 2
         assert runner.run_base("swim", seed=1) is a
-        assert ("swim", 2) not in runner._base_cache
+        assert runner._base_key("swim", 2) not in runner._base_cache
+
+    def test_cache_key_includes_config(self):
+        """Mutating runner.config must not serve stale base runs."""
+        runner = BenchmarkRunner(SMALL)
+        short = runner.run_base("swim")
+        runner.config = SweepConfig(n_cycles=4000, warmup_cycles=200)
+        longer = runner.run_base("swim")
+        assert longer is not short
+        assert longer.cycles > short.cycles
 
     def test_clear_cache_forces_recompute(self):
         runner = BenchmarkRunner(SMALL)

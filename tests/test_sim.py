@@ -73,6 +73,82 @@ class TestSimulation:
         assert result.technique == "base"
 
 
+class _ScriptedStats:
+    def __init__(self, current):
+        self.current_amps = current
+
+
+class _ScriptedPower:
+    def attach_supply(self, vdd_volts, cycle_seconds):
+        pass
+
+
+class _ScriptedProcessor:
+    """Plays back a fixed current waveform, one instruction per cycle."""
+
+    def __init__(self, currents):
+        self._currents = list(currents)
+        self._cycle = 0
+        self.power = _ScriptedPower()
+        self.committed_instructions = 0
+        self.total_energy_joules = 0.0
+        self.phantom_energy_joules = 0.0
+
+    def step(self, directives):
+        current = self._currents[self._cycle]
+        self._cycle += 1
+        self.committed_instructions += 1
+        self.total_energy_joules += 1e-12
+        return _ScriptedStats(current)
+
+
+class TestWarmupIsolation:
+    """Warmup transients must leave no trace in steady-state statistics."""
+
+    def _run_scripted(self, currents, warmup, steady):
+        from repro.power import PowerSupply
+
+        supply = PowerSupply(TABLE1_SUPPLY, initial_current=70.0)
+        simulation = Simulation(
+            _ScriptedProcessor(currents), supply,
+            benchmark="scripted", warmup_cycles=warmup,
+        )
+        return supply, simulation.run(steady)
+
+    def test_warmup_burst_does_not_leak_into_steady_state(self):
+        from repro.power import RLCAnalysis, waveforms
+
+        analysis = RLCAnalysis(TABLE1_SUPPLY)
+        warmup, steady = 2000, 1500
+        # Resonant burst confined to the first 600 warmup cycles; the ring
+        # has 14 periods to decay before steady state begins.
+        currents = waveforms.square_wave(
+            warmup + steady, analysis.resonant_period_cycles,
+            amplitude_pp=60.0, mean=70.0, start=0, end=600,
+        )
+        supply, result = self._run_scripted(currents, warmup, steady)
+        assert supply.violation_cycles > 0       # the burst did violate...
+        assert result.violation_cycles == 0      # ...but only during warmup
+        assert result.violation_events == 0
+        # The fixed leak: a warmup transient used to pin this forever.
+        assert supply.first_violation_cycle is None
+
+    def test_first_violation_cycle_reflects_steady_state(self):
+        from repro.power import RLCAnalysis, waveforms
+
+        analysis = RLCAnalysis(TABLE1_SUPPLY)
+        warmup, steady = 1000, 2000
+        # Resonant drive throughout: violations occur in warmup and after.
+        currents = waveforms.square_wave(
+            warmup + steady, analysis.resonant_period_cycles,
+            amplitude_pp=60.0, mean=70.0,
+        )
+        supply, result = self._run_scripted(currents, warmup, steady)
+        assert result.violation_cycles > 0
+        # Before the fix this reported the warmup-era cycle (< warmup).
+        assert supply.first_violation_cycle >= warmup
+
+
 class TestMetrics:
     def make_result(self, **kwargs):
         defaults = dict(

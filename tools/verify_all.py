@@ -32,3 +32,20 @@ fault_result = run_fault_injection(
 )
 print(fault_result.render())
 print(f"({time.time()-t1:.0f}s)")
+
+print("\n--- parallel backend equivalence (workers=2 vs 1) ---")
+t2 = time.time()
+import dataclasses, json
+from repro.sim import ResilienceConfig
+TRIO = ("swim", "parser", "gzip")
+def fingerprint(summary):
+    return json.dumps(dataclasses.asdict(summary), sort_keys=True)
+sequential = BenchmarkRunner(SweepConfig(n_cycles=6000)).sweep(factory, benchmarks=TRIO)
+with BenchmarkRunner(SweepConfig(n_cycles=6000)) as parallel_runner:
+    parallel = parallel_runner.sweep(
+        factory, benchmarks=TRIO, resilience=ResilienceConfig(workers=2)
+    )
+match = fingerprint(sequential) == fingerprint(parallel)
+print(f"byte-identical aggregates: {match}  ({time.time()-t2:.0f}s)")
+if not match:
+    raise SystemExit("parallel backend diverged from sequential results")
