@@ -1,0 +1,58 @@
+"""Differential oracles and golden-trace conformance for the hot paths.
+
+The repro's claims rest on two optimized implementations: the O(1)
+cumulative-sum resonance detector (:mod:`repro.core.history` /
+:mod:`repro.core.detector`) and the Heun-integrated RLC supply
+(:mod:`repro.power.integrator` / :mod:`repro.power.supply`).  This package
+holds independent re-implementations used only to cross-check them:
+
+* :class:`~repro.oracles.detector_ref.ReferenceDetector` -- brute-force
+  detection that literally re-sums every ``M T/8`` window from the raw
+  trace each cycle (no cumulative-sum register, no shared adders, no bit
+  shift registers) and must agree bit-for-bit with
+  :class:`~repro.core.detector.ResonanceDetector` on exactly representable
+  traces.
+* :class:`~repro.oracles.supply_ref.ConvolutionSupply` -- a direct
+  state-transition-matrix / convolution solution of the same discrete
+  system the Heun integrator steps, agreeing within a documented floating
+  tolerance, itself cross-checked against the closed forms in
+  :mod:`repro.power.analytic`.
+* :mod:`~repro.oracles.golden` -- canonical fingerprinting of per-cycle
+  current/voltage/event streams for a pinned set of workload x config
+  cells, consumed by ``tools/conformance.py`` and the CI gate.
+
+None of this code is imported by the production simulation path; it exists
+so every future optimization PR inherits a conformance net.  See
+``docs/testing.md``.
+"""
+
+from repro.oracles.detector_ref import ReferenceDetector
+from repro.oracles.supply_ref import ConvolutionSupply, violation_stats
+from repro.oracles.golden import (
+    GOLDEN_CELLS,
+    GOLDEN_SCHEMA_VERSION,
+    GoldenCell,
+    compute_cell,
+    compute_goldens,
+    default_goldens_path,
+    diff_goldens,
+    load_goldens,
+    render_goldens,
+    stream_digest,
+)
+
+__all__ = [
+    "ReferenceDetector",
+    "ConvolutionSupply",
+    "violation_stats",
+    "GOLDEN_CELLS",
+    "GOLDEN_SCHEMA_VERSION",
+    "GoldenCell",
+    "compute_cell",
+    "compute_goldens",
+    "default_goldens_path",
+    "diff_goldens",
+    "load_goldens",
+    "render_goldens",
+    "stream_digest",
+]

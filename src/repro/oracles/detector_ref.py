@@ -1,0 +1,208 @@
+"""Brute-force reference implementation of resonant-event detection.
+
+:class:`ReferenceDetector` re-derives everything
+:class:`~repro.core.detector.ResonanceDetector` computes from the Section
+3.1 specification directly, sharing none of its data structures:
+
+* every quarter-period comparison literally re-sums ``2 q`` raw samples
+  from a plain Python list each cycle -- no cumulative-sum register, no
+  ring buffer, no shared adders;
+* event histories are unbounded per-cycle boolean lists -- no one-bit
+  shift registers or power-of-two masks; the hardware register length
+  enters only as an explicit age cutoff in the window arithmetic;
+* chain tracing and consecutive-cycle deduplication (Section 3.1.2/3.1.3)
+  walk those lists directly.
+
+Equivalence contract
+--------------------
+On *exactly representable* traces -- any stream whose samples and partial
+sums are exact binary floats, which covers the hardware's whole-amp sensor
+reports and every dyadic-rational grid the fuzz strategies generate -- the
+reference and the optimized detector must agree **bit for bit** on every
+emitted event: cycle, polarity, count and the deduplicated chain.  On
+arbitrary floats the two sum orders may differ in the last ulp and a
+comparison sitting exactly on a threshold could flip; the differential
+suite therefore fuzzes on exact grids, where any disagreement is a real
+bug in one of the implementations (this is how the cumulative-sum register
+is allowed to stay an optimization rather than a semantic).
+
+The reference is deliberately slow (O(band width x period) per cycle) and
+must never be imported by production code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.detector import COUNTER_CAP, Polarity, ResonantEvent
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["ReferenceDetector"]
+
+
+class ReferenceDetector:
+    """Specification-direct resonant-event detector (test oracle only).
+
+    Constructor arguments and validation mirror
+    :class:`~repro.core.detector.ResonanceDetector` exactly so the two can
+    be built from the same fuzzed configuration.
+    """
+
+    def __init__(
+        self,
+        half_periods: Sequence[int],
+        threshold_amps: float,
+        max_repetition_tolerance: int,
+        chain_window_slack: int = 4,
+        quarter_periods: Optional[Sequence[int]] = None,
+    ):
+        if not half_periods:
+            raise ConfigurationError("half_periods must be non-empty")
+        if threshold_amps <= 0:
+            raise ConfigurationError("threshold_amps must be positive")
+        if max_repetition_tolerance < 2:
+            raise ConfigurationError("max_repetition_tolerance must be at least 2")
+        self.half_periods = sorted(set(int(h) for h in half_periods))
+        if self.half_periods[0] < 2:
+            raise ConfigurationError("half periods must be at least 2 cycles")
+        if chain_window_slack < 0:
+            raise ConfigurationError("chain_window_slack must be non-negative")
+        self.threshold_amps = threshold_amps
+        self.max_repetition_tolerance = max_repetition_tolerance
+        self._h_min = self.half_periods[0]
+        self._h_max = self.half_periods[-1]
+        self._chain_slack = min(chain_window_slack, self._h_min - 1)
+        if quarter_periods is None:
+            self._quarters = sorted({h // 2 for h in self.half_periods})
+        else:
+            self._quarters = sorted({int(q) for q in quarter_periods})
+            if self._quarters[0] < 1:
+                raise ConfigurationError("quarter periods must be >= 1")
+        self.register_length = max_repetition_tolerance * self._h_max
+        # Raw per-cycle state: the full trace and one boolean list per
+        # polarity, both indexed by cycle number.
+        self._trace: List[float] = []
+        self._event_bits: Dict[Polarity, List[bool]] = {
+            Polarity.HIGH_LOW: [],
+            Polarity.LOW_HIGH: [],
+        }
+        self.last_event: Optional[ResonantEvent] = None
+        self.total_events = 0
+        self.nonfinite_samples = 0
+        self._last_finite_amps = 0.0
+
+    # ------------------------------------------------------------------
+    def observe(self, cycle: int, sensed_current_amps: float) -> Optional[ResonantEvent]:
+        """Feed one cycle of sensed current; returns a new event, if any."""
+        if cycle != len(self._trace):
+            raise SimulationError(
+                f"reference detector must observe every cycle (got {cycle}, "
+                f"expected {len(self._trace)})"
+            )
+        if not math.isfinite(sensed_current_amps):
+            # Same hold-last-finite policy as the optimized detector.
+            self.nonfinite_samples = min(self.nonfinite_samples + 1, COUNTER_CAP)
+            sensed_current_amps = self._last_finite_amps
+        else:
+            self._last_finite_amps = sensed_current_amps
+        self._trace.append(sensed_current_amps)
+        n = len(self._trace)
+
+        best_magnitude = 0.0
+        polarity: Optional[Polarity] = None
+        for quarter in self._quarters:
+            if n < 2 * quarter:
+                continue
+            recent = sum(self._trace[n - quarter : n])
+            previous = sum(self._trace[n - 2 * quarter : n - quarter])
+            diff = recent - previous
+            threshold = 0.5 * self.threshold_amps * quarter
+            magnitude = abs(diff)
+            if magnitude >= threshold and magnitude / quarter > best_magnitude:
+                best_magnitude = magnitude / quarter
+                polarity = Polarity.LOW_HIGH if diff > 0 else Polarity.HIGH_LOW
+
+        self._event_bits[Polarity.HIGH_LOW].append(polarity is Polarity.HIGH_LOW)
+        self._event_bits[Polarity.LOW_HIGH].append(polarity is Polarity.LOW_HIGH)
+        if polarity is None:
+            return None
+
+        chain = self._trace_chain(cycle, polarity)
+        event = ResonantEvent(
+            cycle=cycle, polarity=polarity, count=len(chain),
+            chain_cycles=tuple(chain),
+        )
+        self.last_event = event
+        self.total_events = min(self.total_events + 1, COUNTER_CAP)
+        return event
+
+    # ------------------------------------------------------------------
+    # Event-history queries, written against the plain boolean lists but
+    # honouring the hardware register's finite length as an age cutoff.
+    # ------------------------------------------------------------------
+    def _has_event_at(self, polarity: Polarity, cycle: int, now: int) -> bool:
+        if cycle < 0 or cycle > now:
+            return False
+        if now - cycle >= self.register_length:
+            return False
+        bits = self._event_bits[polarity]
+        return cycle < len(bits) and bits[cycle]
+
+    def _latest_event_in(
+        self, polarity: Polarity, start_cycle: int, end_cycle: int, now: int
+    ) -> Optional[int]:
+        lo = max(start_cycle, now - self.register_length + 1, 0)
+        bits = self._event_bits[polarity]
+        for cycle in range(min(end_cycle, now), lo - 1, -1):
+            if cycle < len(bits) and bits[cycle]:
+                return cycle
+        return None
+
+    def _run_start(self, polarity: Polarity, cycle: int, now: int) -> int:
+        """First cycle of the consecutive-event run containing ``cycle``
+        (the Section 3.1.3 dedup rule: a run is one physical variation)."""
+        if not self._has_event_at(polarity, cycle, now):
+            raise SimulationError(f"no event at cycle {cycle}")
+        start = cycle
+        while start > 0 and self._has_event_at(polarity, start - 1, now):
+            start -= 1
+        return start
+
+    def _trace_chain(self, cycle: int, polarity: Polarity) -> List[int]:
+        chain = [cycle]
+        reference = cycle
+        expected = polarity.opposite
+        while len(chain) <= self.max_repetition_tolerance:
+            found = self._latest_event_in(
+                expected,
+                reference - self._h_max,
+                reference - self._h_min + self._chain_slack,
+                cycle,
+            )
+            if found is None:
+                break
+            chain.append(found)
+            reference = self._run_start(expected, found, cycle)
+            expected = expected.opposite
+        return chain
+
+    # ------------------------------------------------------------------
+    def current_count(self, cycle: int) -> int:
+        """Section 5.1.2 count semantics, identical to the optimized path."""
+        event = self.last_event
+        if event is None:
+            return 0
+        if cycle - event.cycle > self._h_max:
+            return 0
+        return sum(
+            1 for c in event.chain_cycles if cycle - c < self.register_length
+        )
+
+    @property
+    def band_half_period_range(self) -> Tuple[int, int]:
+        return self._h_min, self._h_max
+
+    @property
+    def adder_count(self) -> int:
+        return len(self._quarters)

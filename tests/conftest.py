@@ -1,0 +1,25 @@
+"""Shared pytest fixtures and Hypothesis profiles.
+
+Profiles (select with ``HYPOTHESIS_PROFILE``, default ``dev``):
+
+* ``dev`` -- random exploration, no deadline (local runs keep finding new
+  counterexamples over time).
+* ``ci`` -- derandomized with a fixed 5-second per-example deadline:
+  reruns of the same commit execute the identical example set, so a CI
+  failure is always reproducible locally with the same profile and never
+  a fuzz-lottery flake.
+"""
+
+import os
+from datetime import timedelta
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=timedelta(seconds=5),
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,244 @@
+"""Shared Hypothesis strategies for the differential and property suites.
+
+Centralizes the domain knowledge the fuzz tests need:
+
+* **Dyadic grid** -- detector inputs are generated as exact multiples of
+  1/8 A.  Window sums of bounded dyadic rationals are exact in binary
+  floating point, so the cumulative-sum detector and the brute-force
+  reference must agree *bit for bit*; any divergence is a real bug, never
+  float noise.  (The real hardware quantizes to whole amps, so the grid is
+  a superset of physical inputs.)
+* **Band configs** -- random detector bands (half-periods, threshold,
+  repetition tolerance, chain slack) small enough that the O(band x
+  period) reference stays fast.
+* **Band traces** -- segmented current streams mixing in-band and
+  out-of-band square and sine excitation, quiet stretches, steps and
+  uniform noise, with optional NaN drops (the detector's hold-last-finite
+  path).
+* **Fault overlays** -- seeded :mod:`repro.faults` chains to mount on a
+  trace before quantization, exercising detection under degraded inputs.
+* **Supply configs / stimuli** -- underdamped RLC supplies (the paper's
+  regime, Q >= 1) and current waveforms for the integrator-vs-convolution
+  differential.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.config import PowerSupplyConfig
+from repro.faults import (
+    BurstNoiseFault,
+    DelayJitterFault,
+    DriftFault,
+    DroppedSampleFault,
+    SaturationFault,
+    StuckAtFault,
+)
+from repro.power import RLCAnalysis
+
+__all__ = [
+    "GRID_STEPS_PER_AMP",
+    "quantize_to_grid",
+    "grid_amps",
+    "band_configs",
+    "band_traces",
+    "fault_overlays",
+    "underdamped_supply_configs",
+    "supply_stimuli",
+]
+
+#: Detector traces are exact multiples of this (1/8 A): dyadic, so sums
+#: are exact and the optimized/reference comparison is bit-for-bit.
+GRID_STEPS_PER_AMP = 8
+
+
+def quantize_to_grid(values: np.ndarray) -> np.ndarray:
+    """Snap a waveform onto the exact dyadic grid (NaNs pass through)."""
+    values = np.asarray(values, dtype=float)
+    with np.errstate(invalid="ignore"):
+        snapped = np.round(values * GRID_STEPS_PER_AMP) / GRID_STEPS_PER_AMP
+    return np.where(np.isnan(values), values, snapped)
+
+
+def grid_amps(low: float, high: float) -> st.SearchStrategy:
+    """Exact grid-aligned current values in ``[low, high]`` amps."""
+    return st.integers(
+        math.ceil(low * GRID_STEPS_PER_AMP),
+        math.floor(high * GRID_STEPS_PER_AMP),
+    ).map(lambda n: n / GRID_STEPS_PER_AMP)
+
+
+# ----------------------------------------------------------------------
+# Detector band configurations
+# ----------------------------------------------------------------------
+@st.composite
+def band_configs(draw) -> dict:
+    """Constructor kwargs valid for both detector implementations.
+
+    Bands are kept narrow (half-periods <= ~40 cycles) so the brute-force
+    reference, which re-sums every window each cycle, stays fast enough
+    for hundreds of Hypothesis examples.
+    """
+    h_low = draw(st.integers(4, 28))
+    width = draw(st.integers(0, 12))
+    return {
+        "half_periods": range(h_low, h_low + width + 1),
+        "threshold_amps": draw(grid_amps(2.0, 40.0)),
+        "max_repetition_tolerance": draw(st.integers(2, 6)),
+        "chain_window_slack": draw(st.integers(0, 6)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Current traces
+# ----------------------------------------------------------------------
+def _segment(rng: np.random.Generator, kind: str, length: int,
+             mean: float, amplitude: float, period: float) -> np.ndarray:
+    cycles = np.arange(length, dtype=float)
+    if kind == "constant":
+        return np.full(length, mean)
+    if kind == "square":
+        phase = (cycles % period) / period
+        return mean + np.where(phase < 0.5, 0.5, -0.5) * amplitude
+    if kind == "sine":
+        return mean + 0.5 * amplitude * np.sin(2.0 * math.pi * cycles / period)
+    if kind == "step":
+        wave = np.full(length, mean)
+        wave[length // 2 :] = mean + amplitude
+        return wave
+    if kind == "noise":
+        return mean + rng.uniform(-0.5 * amplitude, 0.5 * amplitude, length)
+    raise ValueError(kind)
+
+
+@st.composite
+def band_traces(draw, config: dict, max_segments: int = 4,
+                segment_cycles: "tuple[int, int]" = (30, 110),
+                allow_nan: bool = True) -> np.ndarray:
+    """A segmented, grid-exact current trace targeted at ``config``'s band.
+
+    Segments independently choose in-band periods (which should excite
+    detection when the amplitude clears the threshold), out-of-band
+    periods above and below the band, quiet stretches, steps and noise.
+    With ``allow_nan`` a few samples may be dropped to NaN to exercise the
+    hold-last-finite path of both implementations identically.
+    """
+    half = sorted(set(int(h) for h in config["half_periods"]))
+    h_lo, h_hi = half[0], half[-1]
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    pieces = []
+    for _ in range(draw(st.integers(1, max_segments))):
+        kind = draw(st.sampled_from(
+            ["constant", "square", "sine", "step", "noise", "square", "sine"]
+        ))
+        placement = draw(st.sampled_from(["in", "below", "above"]))
+        if placement == "in":
+            period = 2.0 * draw(st.integers(h_lo, h_hi))
+        elif placement == "below":  # shorter period = higher frequency
+            period = float(draw(st.integers(2, max(2, h_lo // 2))))
+        else:
+            period = 2.0 * draw(st.integers(3 * h_hi, 4 * h_hi))
+        length = draw(st.integers(*segment_cycles))
+        mean = draw(grid_amps(10.0, 90.0))
+        amplitude = draw(grid_amps(0.0, 70.0))
+        pieces.append(_segment(rng, kind, length, mean, amplitude, period))
+    trace = quantize_to_grid(np.concatenate(pieces))
+    if allow_nan and draw(st.booleans()):
+        for index in draw(
+            st.lists(st.integers(0, len(trace) - 1), max_size=4, unique=True)
+        ):
+            trace[index] = math.nan
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Fault overlays
+# ----------------------------------------------------------------------
+@st.composite
+def fault_overlays(draw, max_faults: int = 3) -> list:
+    """An ordered chain of seeded sensor faults to mount on a trace."""
+    builders = st.sampled_from(["stuck", "drop", "burst", "drift", "sat", "jitter"])
+    faults = []
+    for name in draw(st.lists(builders, max_size=max_faults)):
+        seed = draw(st.integers(0, 2**31 - 1))
+        if name == "stuck":
+            faults.append(StuckAtFault(
+                value_amps=draw(grid_amps(0.0, 90.0)),
+                start_cycle=draw(st.integers(0, 200)),
+                duration_cycles=draw(st.integers(1, 80)),
+                seed=seed,
+            ))
+        elif name == "drop":
+            faults.append(DroppedSampleFault(
+                drop_probability=draw(st.floats(0.0, 0.4)), seed=seed
+            ))
+        elif name == "burst":
+            faults.append(BurstNoiseFault(
+                amplitude_pp_amps=draw(st.floats(0.0, 20.0)),
+                burst_probability=draw(st.floats(0.0, 0.05)),
+                burst_length_cycles=draw(st.integers(5, 60)),
+                seed=seed,
+            ))
+        elif name == "drift":
+            faults.append(DriftFault(
+                drift_amps_per_kilocycle=draw(st.floats(-20.0, 20.0)),
+                max_offset_amps=draw(st.floats(0.0, 30.0)),
+                seed=seed,
+            ))
+        elif name == "sat":
+            faults.append(SaturationFault(
+                full_scale_amps=draw(grid_amps(40.0, 120.0)), seed=seed
+            ))
+        else:
+            faults.append(DelayJitterFault(
+                max_extra_delay_cycles=draw(st.integers(1, 6)),
+                jitter_probability=draw(st.floats(0.0, 0.3)),
+                seed=seed,
+            ))
+    return faults
+
+
+# ----------------------------------------------------------------------
+# Power-supply configurations and stimuli
+# ----------------------------------------------------------------------
+def underdamped_supply_configs() -> st.SearchStrategy:
+    """Physically plausible underdamped supplies with Q >= 1 (the paper's
+    regime; below Q ~ 1 the half-power band loses meaning)."""
+    return st.builds(
+        PowerSupplyConfig,
+        resistance_ohms=st.floats(1e-4, 1e-3),
+        inductance_henries=st.floats(1e-12, 1e-11),
+        capacitance_farads=st.floats(2e-7, 3e-6),
+        vdd_volts=st.just(1.0),
+        clock_hz=st.just(10e9),
+    ).filter(lambda c: RLCAnalysis(c).quality_factor >= 1.0)
+
+
+@st.composite
+def supply_stimuli(draw, config: PowerSupplyConfig,
+                   max_cycles: int = 600) -> np.ndarray:
+    """A current waveform aimed at ``config``'s resonance.
+
+    Mixes resonant and off-resonant square/sine drive, steps and quiet so
+    the integrator-vs-convolution differential covers ringing build-up,
+    forced response and free decay.  Plain floats -- the supply comparison
+    is tolerance-based, not bit-exact.
+    """
+    period = RLCAnalysis(config).resonant_period_cycles
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    pieces = []
+    for _ in range(draw(st.integers(1, 3))):
+        kind = draw(st.sampled_from(["constant", "square", "sine", "step"]))
+        scale = draw(st.sampled_from([0.25, 0.5, 1.0, 1.0, 2.0, 5.0]))
+        pieces.append(_segment(
+            rng, kind,
+            length=draw(st.integers(50, max_cycles // 3)),
+            mean=draw(st.floats(0.0, 90.0)),
+            amplitude=draw(st.floats(0.0, 60.0)),
+            period=max(2.0, scale * period),
+        ))
+    return np.concatenate(pieces)

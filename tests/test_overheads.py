@@ -1,0 +1,93 @@
+"""Unit tests for the Section 3.3 hardware-cost accounting (core/overheads.py)."""
+
+import pytest
+
+from repro.config import TABLE1_PROCESSOR, TABLE1_SUPPLY
+from repro.core import (
+    ResonanceDetector,
+    WaveletDetector,
+    estimate_overheads,
+)
+from repro.errors import ConfigurationError
+from repro.power import RLCAnalysis
+
+
+def _table1_detector():
+    band = RLCAnalysis(TABLE1_SUPPLY).band
+    return ResonanceDetector(band.half_periods, 26.0, 4)
+
+
+class TestTable1Inventory:
+    def test_adder_inventory_matches_paper(self):
+        """Nine 7-bit adders: the paper's 'up to 9 current-history adders'
+        whose energy is 'approximately ... one 64-bit adder'."""
+        overheads = estimate_overheads(_table1_detector(), TABLE1_PROCESSOR)
+        assert overheads.adder_count == 9
+        assert overheads.adder_bits == 63
+        assert overheads.adder_energy_equivalent_64bit == pytest.approx(
+            63 / 64
+        )
+
+    def test_event_history_sized_by_repetition_tolerance(self):
+        # Table 1: tolerance 4 x longest half-period 59 -> 236 bits/polarity.
+        overheads = estimate_overheads(_table1_detector(), TABLE1_PROCESSOR)
+        assert overheads.event_history_bits == 2 * 4 * 59
+
+    def test_current_history_covers_two_longest_quarters(self):
+        # Depth 2*29+1 entries of 7 bits each.
+        overheads = estimate_overheads(_table1_detector(), TABLE1_PROCESSOR)
+        assert overheads.current_history_bits == (2 * 29 + 1) * 7
+
+    def test_sensor_and_total_transistor_budget(self):
+        overheads = estimate_overheads(_table1_detector(), TABLE1_PROCESSOR)
+        assert overheads.sensor_transistors == 4000
+        assert overheads.total_transistors == (
+            overheads.sensor_transistors + overheads.logic_transistors
+        )
+        # The whole detector is small change against a full core.
+        assert overheads.total_transistors < 50_000
+
+
+class TestEnergyAccounting:
+    def test_overhead_below_one_percent_of_table1_processor(self):
+        """Section 4.1: modelled overhead is 'small (< 1 % of processor
+        energy)' -- checked against the 105 W Table 1 design point."""
+        overheads = estimate_overheads(_table1_detector(), TABLE1_PROCESSOR)
+        fraction = overheads.energy_fraction_of(
+            processor_power_watts=105.0,
+            cycle_seconds=TABLE1_SUPPLY.cycle_seconds,
+        )
+        assert 0 < fraction < 0.01
+
+    def test_energy_scales_with_adder_bits(self):
+        base = estimate_overheads(_table1_detector(), TABLE1_PROCESSOR)
+        doubled = estimate_overheads(
+            _table1_detector(), TABLE1_PROCESSOR,
+            energy_per_adder_bit_joules=1e-15,
+        )
+        assert doubled.energy_per_cycle_joules == pytest.approx(
+            2 * base.energy_per_cycle_joules
+        )
+
+    def test_nonpositive_power_rejected(self):
+        overheads = estimate_overheads(_table1_detector(), TABLE1_PROCESSOR)
+        with pytest.raises(ConfigurationError):
+            overheads.energy_fraction_of(0.0, 1e-10)
+        with pytest.raises(ConfigurationError):
+            overheads.energy_fraction_of(105.0, 0.0)
+
+
+class TestWaveletComparison:
+    def test_wavelet_detector_is_cheaper(self):
+        """The dyadic alternative's headline saving shows up in the
+        accounting: fewer adders, fewer adder bits, less energy."""
+        band = RLCAnalysis(TABLE1_SUPPLY).band
+        full = estimate_overheads(
+            ResonanceDetector(band.half_periods, 26.0, 4), TABLE1_PROCESSOR
+        )
+        wavelet = estimate_overheads(
+            WaveletDetector(band.half_periods, 26.0, 4), TABLE1_PROCESSOR
+        )
+        assert wavelet.adder_count < full.adder_count
+        assert wavelet.adder_bits < full.adder_bits
+        assert wavelet.energy_per_cycle_joules < full.energy_per_cycle_joules

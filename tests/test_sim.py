@@ -73,6 +73,42 @@ class TestSimulation:
         assert result.technique == "base"
 
 
+class TestRecordReplay:
+    """Recorded streams are a faithful, reproducible account of a run."""
+
+    def test_reentry_rejected_without_corrupting_state(self):
+        """The _ran guard fires before any stepping: a rejected re-entry
+        must leave recorded streams and supply counters untouched."""
+        simulation = build_simulation(record=True)
+        simulation.run(250)
+        currents = list(simulation.currents)
+        cycle_count = simulation.supply.cycle
+        for n_cycles in (250, 1):  # same and different arguments
+            with pytest.raises(SimulationError):
+                simulation.run(n_cycles)
+        assert simulation.currents == currents
+        assert simulation.supply.cycle == cycle_count
+
+    def test_recorded_streams_match_fresh_identical_run(self):
+        """record=True must not perturb, and the stack must be
+        deterministic: two identically built runs agree cycle-for-cycle,
+        bit-for-bit, on both recorded streams."""
+        def run_once():
+            controller = ResonanceTuningController(
+                TABLE1_SUPPLY, TABLE1_PROCESSOR
+            )
+            simulation = build_simulation(
+                name="swim", record=True, warmup=200, controller=controller
+            )
+            simulation.run(800)
+            return simulation.currents, simulation.voltages
+
+        first_currents, first_voltages = run_once()
+        second_currents, second_voltages = run_once()
+        assert first_currents == second_currents
+        assert first_voltages == second_voltages
+
+
 class _ScriptedStats:
     def __init__(self, current):
         self.current_amps = current

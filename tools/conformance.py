@@ -1,0 +1,133 @@
+"""Golden-trace conformance checker for the optimized hot paths.
+
+Fingerprints the pinned workload x config cells (``repro.oracles.golden``)
+and compares them against the committed goldens in
+``tests/goldens/goldens.json``.
+
+Usage::
+
+    PYTHONPATH=src python tools/conformance.py                 # check
+    PYTHONPATH=src python tools/conformance.py --workers 2     # parallel check
+    PYTHONPATH=src python tools/conformance.py --list          # show cells
+    PYTHONPATH=src python tools/conformance.py --regen \\
+        --reason "detector threshold recalibrated in PR N"     # regenerate
+
+Checking exits non-zero on any divergence and prints a per-field diff.
+Regeneration *refuses to run* without ``--reason`` explaining the diff --
+goldens pin simulator semantics, so an unexplained regen is exactly the
+silent drift this gate exists to catch.  CI runs the check sequentially
+and with ``--workers 2`` on Python 3.10 and 3.12; all four must agree
+byte-for-byte.  See docs/testing.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.oracles import (  # noqa: E402  (path bootstrap above)
+    GOLDEN_CELLS,
+    compute_goldens,
+    default_goldens_path,
+    diff_goldens,
+    load_goldens,
+    render_goldens,
+)
+
+#: Shorter explanations than this are not explanations.
+_MIN_REASON_CHARS = 10
+
+
+def _check(path: pathlib.Path, workers: int) -> int:
+    try:
+        committed = load_goldens(path)
+    except FileNotFoundError:
+        print(f"no goldens at {path}; generate them with --regen --reason '...'")
+        return 1
+    computed = compute_goldens(workers=workers)
+    differences = diff_goldens(committed["cells"], computed)
+    backend = "sequential" if workers <= 1 else f"--workers {workers}"
+    if differences:
+        print(f"golden conformance FAILED ({backend}, {len(differences)} diffs):")
+        for line in differences:
+            print(f"  {line}")
+        print(
+            "\nIf this change is intentional, regenerate with:\n"
+            "  PYTHONPATH=src python tools/conformance.py --regen "
+            "--reason 'why the streams changed'"
+        )
+        return 1
+    print(f"golden conformance OK ({backend}, {len(computed)} cells, {path})")
+    return 0
+
+
+def _regen(path: pathlib.Path, workers: int, reason: "str | None") -> int:
+    if not reason or len(reason.strip()) < _MIN_REASON_CHARS:
+        print(
+            "refusing to regenerate goldens without --reason (>= "
+            f"{_MIN_REASON_CHARS} chars) explaining the diff; goldens pin "
+            "simulator semantics and an unexplained change defeats the gate"
+        )
+        return 1
+    computed = compute_goldens(workers=workers)
+    try:
+        old_cells = load_goldens(path)["cells"]
+    except FileNotFoundError:
+        old_cells = {}
+    differences = diff_goldens(old_cells, computed)
+    if not differences and old_cells:
+        print("goldens already match the current simulator; nothing to do")
+        return 0
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_goldens(computed, reason.strip()), encoding="ascii")
+    print(f"wrote {len(computed)} cells to {path}")
+    for line in differences:
+        print(f"  {line}")
+    return 0
+
+
+def _list_cells() -> int:
+    for cell in GOLDEN_CELLS:
+        print(
+            f"{cell.key:16s} n_cycles={cell.n_cycles} "
+            f"warmup={cell.warmup_cycles}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--regen", action="store_true",
+        help="regenerate goldens (requires --reason)",
+    )
+    parser.add_argument(
+        "--reason", default=None,
+        help="explanation for the golden diff (required with --regen)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_cells",
+        help="list the pinned cells and exit",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="compute cells with a process pool (default: sequential)",
+    )
+    parser.add_argument(
+        "--path", type=pathlib.Path, default=None,
+        help="golden file (default: tests/goldens/goldens.json)",
+    )
+    args = parser.parse_args(argv)
+    path = args.path or default_goldens_path()
+    if args.list_cells:
+        return _list_cells()
+    if args.regen:
+        return _regen(path, args.workers, args.reason)
+    return _check(path, args.workers)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
