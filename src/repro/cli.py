@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import argparse
 import functools
+import sys
 from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.config import PowerSupplyConfig, TABLE1_SUPPLY, TuningConfig
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepInterrupted
 
 __all__ = ["main", "build_parser"]
 
@@ -236,4 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SweepInterrupted as stop:
+        # Graceful drain: completed cells are checkpointed; exit
+        # EX_TEMPFAIL so callers know a --resume finishes the run.
+        print(f"interrupted: {stop}", file=sys.stderr)
+        return stop.exit_code

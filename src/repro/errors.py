@@ -43,3 +43,61 @@ class FaultError(ReproError):
     genuine modelling bugs (:class:`SimulationError`) and bad inputs
     (:class:`ConfigurationError`).
     """
+
+
+class HarnessError(ReproError):
+    """The experiment harness itself (not a simulated run) failed.
+
+    Separates supervision-layer problems -- a closed runner asked to sweep,
+    a worker pool that cannot be rebuilt, an unusable checkpoint -- from
+    modelling errors: a :class:`HarnessError` means the *infrastructure*
+    needs attention, never the physics.
+    """
+
+
+class CheckpointError(HarnessError):
+    """A sweep checkpoint file is missing, corrupt, or unusable.
+
+    Carries the offending ``path`` and an actionable ``hint`` (usually
+    ``--resume``-oriented: delete the file, drop the flag, or point at the
+    quarantined copy) so CLI users see a recovery path instead of a raw
+    ``JSONDecodeError`` traceback.
+    """
+
+    def __init__(self, path: str, reason: str, hint: str = ""):
+        self.path = path
+        self.reason = reason
+        self.hint = hint
+        message = f"checkpoint {path!r}: {reason}"
+        if hint:
+            message = f"{message} ({hint})"
+        super().__init__(message)
+
+
+class WorkerLostError(HarnessError):
+    """A sweep worker process died or stalled past the heartbeat threshold.
+
+    Used as the ``error_type`` of :class:`~repro.sim.runner.FailureReport`
+    entries for cells whose worker-restart budget ran out, and raised
+    directly when the pool cannot be rebuilt at all.
+    """
+
+
+class SweepInterrupted(HarnessError):
+    """A sweep drained gracefully after SIGTERM/SIGINT.
+
+    Completed cells are flushed to the checkpoint before this is raised,
+    so the run is *resumable*: the CLI exits with :attr:`exit_code`
+    (``EX_TEMPFAIL``) rather than a crash, and ``--resume`` finishes the
+    remaining cells.
+    """
+
+    #: BSD sysexits EX_TEMPFAIL: "temporary failure, retry later".
+    exit_code = 75
+
+    def __init__(self, message: str, signum: int = 0,
+                 completed: int = 0, pending: int = 0):
+        self.signum = signum
+        self.completed = completed
+        self.pending = pending
+        super().__init__(message)

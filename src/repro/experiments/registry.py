@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import argparse
 import difflib
+import sys
 from typing import Callable, Dict, Optional, Sequence
+
+from repro.errors import SweepInterrupted
 
 from repro.experiments import (
     ablations,
@@ -202,29 +205,84 @@ def add_resilience_flags(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for sweep cells (1 = sequential, in-process)",
     )
+    parser.add_argument(
+        "--heartbeat-stale-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="kill and requeue a parallel worker whose cell has not"
+             " progressed for S seconds (default: supervision by process"
+             " death only)",
+    )
+    parser.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="requeue a cell at most N times after losing its worker"
+             " before parking it as a failure (default 2)",
+    )
+    parser.add_argument(
+        "--backoff-base-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exponential backoff before retry attempts: attempt k waits"
+             " S * 2^(k-1) seconds with deterministic jitter (default: no"
+             " backoff)",
+    )
+    parser.add_argument(
+        "--drain-deadline-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="on SIGTERM/SIGINT, wait S seconds for in-flight cells before"
+             " killing the pool and exiting resumable (default 10)",
+    )
+    parser.add_argument(
+        "--no-circuit-breaker",
+        action="store_true",
+        help="run every (benchmark, seed) cell even after the benchmark's"
+             " first cell exhausted its retry budget",
+    )
 
 
 def resilience_from_args(args) -> Optional[ResilienceConfig]:
-    """Build the ResilienceConfig the CLI flags describe (None if default)."""
+    """Build the ResilienceConfig the CLI flags describe (None if default).
+
+    Only flags the user actually set become constructor overrides, so
+    adding supervision knobs never disturbs the defaults of a config
+    built from other flags (and an all-default command line still means
+    "no resilience installed").
+    """
     checkpoint = args.checkpoint
     if args.resume and checkpoint is None:
         checkpoint = DEFAULT_CHECKPOINT
+    overrides = {}
+    if checkpoint is not None:
+        overrides["checkpoint_path"] = checkpoint
+    if args.resume:
+        overrides["resume"] = True
+    if args.max_retries != 0:
+        overrides["max_retries"] = args.max_retries
+    if args.timeout_s is not None:
+        overrides["timeout_s"] = args.timeout_s
     workers = getattr(args, "workers", 1)
-    if (
-        checkpoint is None
-        and not args.resume
-        and args.max_retries == 0
-        and args.timeout_s is None
-        and workers == 1
-    ):
+    if workers != 1:
+        overrides["workers"] = workers
+    if getattr(args, "heartbeat_stale_s", None) is not None:
+        overrides["heartbeat_stale_s"] = args.heartbeat_stale_s
+    if getattr(args, "max_worker_restarts", None) is not None:
+        overrides["max_worker_restarts"] = args.max_worker_restarts
+    if getattr(args, "backoff_base_s", None) is not None:
+        overrides["backoff_base_s"] = args.backoff_base_s
+    if getattr(args, "drain_deadline_s", None) is not None:
+        overrides["drain_deadline_s"] = args.drain_deadline_s
+    if getattr(args, "no_circuit_breaker", False):
+        overrides["circuit_breaker"] = False
+    if not overrides:
         return None
-    return ResilienceConfig(
-        timeout_s=args.timeout_s,
-        max_retries=args.max_retries,
-        checkpoint_path=checkpoint,
-        resume=args.resume,
-        workers=workers,
-    )
+    return ResilienceConfig(**overrides)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -248,7 +306,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     resilience = resilience_from_args(args)
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in names:
-        result = run_experiment(name, quick=args.quick, resilience=resilience)
+        try:
+            result = run_experiment(
+                name, quick=args.quick, resilience=resilience
+            )
+        except SweepInterrupted as stop:
+            print(f"{name}: {stop}", file=sys.stderr)
+            return stop.exit_code
         print(result.render())
         print()
     return 0

@@ -9,12 +9,25 @@ The subsystem has two halves:
 * :mod:`repro.faults.attacker` -- the adversarial resonant attacker, as a
   power-supply current injector and as a workload mutator.
 
+A third, harness-facing half lives in :mod:`repro.faults.chaos`:
+process-level injectors (worker kills, hangs, checkpoint corruption,
+fsync failures) used by the crash-safety chaos harness rather than the
+sensing-path fault campaigns.
+
 Every model is deterministic given its seed; the
 ``ablation-fault-injection`` campaign (:mod:`repro.experiments.faults`)
 sweeps their intensities and reports how detector coverage degrades.
 """
 
 from repro.faults.attacker import ResonantAttacker, resonant_attack_profile
+from repro.faults.chaos import (
+    HangAlways,
+    HangOnce,
+    KillWorkerOnce,
+    flip_bit,
+    inject_fsync_faults,
+    truncate_file,
+)
 from repro.faults.models import (
     BurstNoiseFault,
     DelayJitterFault,
@@ -37,4 +50,10 @@ __all__ = [
     "FaultySensor",
     "ResonantAttacker",
     "resonant_attack_profile",
+    "KillWorkerOnce",
+    "HangOnce",
+    "HangAlways",
+    "truncate_file",
+    "flip_bit",
+    "inject_fsync_faults",
 ]

@@ -28,15 +28,25 @@ are always aggregated in grid order.
 
 from __future__ import annotations
 
+import contextlib
+import errno
+import hashlib
 import json
+import multiprocessing
 import os
 import pickle
+import random
+import re
 import signal
 import threading
 import time
 import warnings
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import OrderedDict, deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait as futures_wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, fields
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -48,7 +58,14 @@ from repro.config import (
     TABLE1_SUPPLY,
 )
 from repro.core.controller import NoiseController, NullController
-from repro.errors import ConfigurationError, FaultError
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    FaultError,
+    HarnessError,
+    SweepInterrupted,
+    WorkerLostError,
+)
 from repro.power.supply import PowerSupply
 from repro.sim.metrics import RelativeMetrics, SimulationResult
 from repro.sim.simulation import Simulation
@@ -82,8 +99,15 @@ DEFAULT_RESILIENCE: Optional["ResilienceConfig"] = None
 #: seed, attempt), so retries are reproducible run to run.
 _RESEED_STRIDE = 104_729
 
-#: Version tag of the checkpoint JSON schema.
-_CHECKPOINT_VERSION = 1
+#: Version tag of the checkpoint JSON schema.  Version 2 adds the
+#: ``_meta`` header (content checksum + sweep parameters, serialized
+#: *before* the cells so a truncated file keeps it) and per-cell record
+#: digests; version-1 files are still readable.
+_CHECKPOINT_VERSION = 2
+
+#: How often the parallel supervisor wakes to check heartbeats and drain
+#: requests while no future has completed, in seconds.
+_SUPERVISOR_POLL_S = 0.2
 
 
 @dataclass(frozen=True)
@@ -128,6 +152,26 @@ class ResilienceConfig:
     resume: bool = False
     #: worker processes executing sweep cells; 1 = in-process (sequential)
     workers: int = 1
+    #: a parallel worker whose current cell has not progressed for this
+    #: many seconds is presumed hung, killed, and its cell requeued;
+    #: None disables heartbeat supervision
+    heartbeat_stale_s: Optional[float] = None
+    #: how many times one cell may be requeued after losing its worker
+    #: (killed, OOM'd, or heartbeat-stale) before it is parked as a
+    #: WorkerLostError failure
+    max_worker_restarts: int = 2
+    #: first-retry backoff delay; attempt k sleeps base * 2^(k-1) seconds
+    #: scaled by deterministic jitter in [0.5, 1.5); 0 disables sleeping
+    backoff_base_s: float = 0.0
+    #: ceiling on any single backoff sleep
+    backoff_max_s: float = 30.0
+    #: park the remaining (benchmark, seed) cells of a benchmark whose
+    #: first pending cell exhausted its retry budget, instead of burning
+    #: the full budget once per seed
+    circuit_breaker: bool = True
+    #: after SIGTERM/SIGINT, how long the parallel drain waits for
+    #: in-flight cells before killing the pool and exiting resumable
+    drain_deadline_s: float = 10.0
 
     def __post_init__(self) -> None:
         if self.timeout_s is not None and self.timeout_s <= 0:
@@ -138,11 +182,35 @@ class ResilienceConfig:
             raise ConfigurationError("resume requires a checkpoint_path")
         if self.workers < 1:
             raise ConfigurationError("workers must be at least 1")
+        if self.heartbeat_stale_s is not None and self.heartbeat_stale_s <= 0:
+            raise ConfigurationError(
+                "heartbeat_stale_s must be positive when set"
+            )
+        if self.max_worker_restarts < 0:
+            raise ConfigurationError("max_worker_restarts must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ConfigurationError("backoff_base_s must be non-negative")
+        if self.backoff_max_s < 0:
+            raise ConfigurationError("backoff_max_s must be non-negative")
+        if self.backoff_base_s > 0 and self.backoff_max_s < self.backoff_base_s:
+            raise ConfigurationError(
+                "backoff_max_s must be at least backoff_base_s"
+            )
+        if self.drain_deadline_s <= 0:
+            raise ConfigurationError("drain_deadline_s must be positive")
 
 
 @dataclass(frozen=True)
 class FailureReport:
-    """One sweep cell that exhausted its retry budget."""
+    """One sweep cell that did not produce a result.
+
+    ``skipped`` distinguishes cells that were never attempted -- parked by
+    the circuit breaker after their benchmark's probe cell failed -- from
+    cells that genuinely exhausted their retry budget (``skipped=False``).
+    Worker-supervision incidents (a killed or heartbeat-stale worker, with
+    the cell later requeued) reuse this shape on the summary's
+    ``incidents`` attribute.
+    """
 
     benchmark: str
     technique: str
@@ -150,6 +218,7 @@ class FailureReport:
     attempts: int
     error_type: str
     message: str
+    skipped: bool = False
 
 
 @dataclass(frozen=True)
@@ -179,10 +248,13 @@ class TechniqueSummary:
     Summaries returned by :meth:`BenchmarkRunner.sweep` additionally carry
     a ``timings`` attribute -- a per-phase wall-clock breakdown (setup /
     execute / checkpoint_io / aggregate / total seconds plus the worker
-    count and cell counts).  It is a diagnostic attached outside the
-    dataclass fields, so equality and serialisation of summaries stay
-    timing-independent (a resumed sweep still compares byte-identical to an
-    uninterrupted one).
+    count and cell counts) -- and an ``incidents`` attribute, the tuple of
+    supervision events (dead or heartbeat-stale workers that were killed
+    and their cells requeued) as :class:`FailureReport`-shaped records.
+    Both are diagnostics attached outside the dataclass fields, so equality
+    and serialisation of summaries stay environment-independent (a resumed
+    or worker-crashed-and-requeued sweep still compares byte-identical to
+    an undisturbed one).
     """
 
     technique: str
@@ -216,32 +288,318 @@ def _cell_key(
     return f"s{ordinal}|{benchmark}|{technique}|{'-' if seed is None else seed}"
 
 
-def load_checkpoint(path: str) -> dict:
-    """Read a sweep checkpoint; returns its raw dictionary form."""
-    with open(path) as handle:
-        data = json.load(handle)
-    if data.get("version") != _CHECKPOINT_VERSION:
-        raise ConfigurationError(
-            f"checkpoint {path!r} has version {data.get('version')!r},"
-            f" expected {_CHECKPOINT_VERSION}"
-        )
-    return data
+def _canonical_json(obj) -> str:
+    """Stable serialisation used for every digest and checksum."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
-def _write_checkpoint(path: str, payload: dict) -> None:
-    """Atomically replace the checkpoint (write-temp-then-rename)."""
+def _content_digest(obj) -> str:
+    return hashlib.sha256(_canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+#: Injection point for the chaos harness (and a seam for exotic
+#: filesystems): every checkpoint fsync goes through here.
+_fsync = os.fsync
+
+
+def _fsync_directory(directory: str) -> None:
+    """Persist a rename by fsyncing its directory (no-op where unsupported)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        _fsync(fd)
+    except OSError as error:
+        if error.errno not in (errno.EINVAL, errno.ENOTSUP, errno.EBADF):
+            raise
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    """Durable write-temp-fsync-rename-fsync-dir replacement of ``path``.
+
+    The temp file is fsynced before ``os.replace`` and the containing
+    directory after it, so a host crash at any instant leaves either the
+    old complete file or the new complete file -- never an empty or
+    half-written one behind the rename.
+    """
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
     tmp_path = f"{path}.tmp"
-    with open(tmp_path, "w") as handle:
-        json.dump(payload, handle, indent=0, sort_keys=True)
-    os.replace(tmp_path, path)
+    try:
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle, indent=0, sort_keys=True)
+            handle.flush()
+            _fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.remove(tmp_path)
+        raise
+    _fsync_directory(directory)
+
+
+def _checkpoint_payload(
+    n_cycles: int, warmup_cycles: int, cells: Dict[str, dict]
+) -> dict:
+    """The self-validating on-disk form of a checkpoint.
+
+    ``_meta`` sorts before ``cells``, so ``indent=0`` serialisation puts
+    the checksum and sweep parameters on the first lines of the file --
+    a tail truncation loses cell records, never the header.
+    """
+    cell_block = {
+        key: {"digest": _content_digest(record), "metrics": record}
+        for key, record in cells.items()
+    }
+    return {
+        "_meta": {
+            "checksum": _content_digest(cell_block),
+            "n_cycles": n_cycles,
+            "version": _CHECKPOINT_VERSION,
+            "warmup_cycles": warmup_cycles,
+        },
+        "cells": cell_block,
+    }
+
+
+def _write_checkpoint(path: str, payload: dict) -> None:
+    """Atomically and durably replace the checkpoint file."""
+    _atomic_write_json(path, payload)
+
+
+def _quarantine_corrupt(path: str) -> str:
+    """Move a corrupt checkpoint aside to ``<path>.corrupt-<n>``."""
+    n = 0
+    while True:
+        candidate = f"{path}.corrupt-{n}"
+        if not os.path.exists(candidate):
+            break
+        n += 1
+    os.replace(path, candidate)
+    return candidate
+
+
+#: One serialized v2 cell record, as written by ``json.dump(indent=0)``:
+#: the key, its digest, and a flat metrics object (RelativeMetrics holds
+#: only scalars and strings, so the inner object never nests).
+_CELL_RECORD_RE = re.compile(
+    r'"((?:s\d+\|)[^"\n]*)":\s*\{\s*"digest":\s*"([0-9a-f]{64})",'
+    r'\s*"metrics":\s*(\{[^{}]*\})\s*\}',
+    re.DOTALL,
+)
+
+
+def _salvage_cells(text: str) -> Dict[str, dict]:
+    """Digest-validated cell records recoverable from corrupt file text."""
+    salvaged: Dict[str, dict] = {}
+    for match in _CELL_RECORD_RE.finditer(text):
+        key, digest, metrics_text = match.groups()
+        try:
+            record = json.loads(metrics_text)
+        except ValueError:
+            continue
+        if _content_digest(record) == digest:
+            salvaged[key] = record
+    return salvaged
+
+
+def _salvage_meta(text: str) -> Dict[str, Optional[int]]:
+    """Sweep parameters recoverable from a corrupt file's ``_meta`` header."""
+    recovered: Dict[str, Optional[int]] = {}
+    for field in ("n_cycles", "warmup_cycles"):
+        match = re.search(rf'"{field}":\s*(\d+)', text)
+        recovered[field] = int(match.group(1)) if match else None
+    return recovered
+
+
+def _normalized_checkpoint(
+    version: int,
+    n_cycles: Optional[int],
+    warmup_cycles: Optional[int],
+    cells: Dict[str, dict],
+    salvaged: bool = False,
+    quarantined: Optional[str] = None,
+) -> dict:
+    return {
+        "version": version,
+        "n_cycles": n_cycles,
+        "warmup_cycles": warmup_cycles,
+        "cells": cells,
+        "salvaged": salvaged,
+        "quarantined": quarantined,
+    }
+
+
+def _salvage_checkpoint(path: str, text: str, reason: str) -> dict:
+    """Recover the digest-valid subset of a corrupt checkpoint.
+
+    The corrupt original is quarantined to ``<path>.corrupt-<n>`` (so the
+    next durable write starts clean and the evidence survives) and a
+    RuntimeWarning names both the damage and the salvage yield.
+    """
+    cells = _salvage_cells(text)
+    meta = _salvage_meta(text)
+    quarantined = _quarantine_corrupt(path)
+    warnings.warn(
+        f"checkpoint {path!r} is corrupt ({reason}); salvaged"
+        f" {len(cells)} digest-valid cell(s), quarantined the original to"
+        f" {quarantined!r}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return _normalized_checkpoint(
+        _CHECKPOINT_VERSION,
+        meta["n_cycles"],
+        meta["warmup_cycles"],
+        cells,
+        salvaged=True,
+        quarantined=quarantined,
+    )
+
+
+def load_checkpoint(path: str, salvage: bool = False) -> dict:
+    """Read and verify a sweep checkpoint.
+
+    Returns a normalized dictionary with ``version``, ``n_cycles``,
+    ``warmup_cycles``, ``cells`` (cell key -> metrics record), ``salvaged``
+    and ``quarantined`` entries regardless of the on-disk schema version.
+
+    Integrity is verified end to end: the ``_meta`` checksum must match
+    the cell block, and every cell record must match its own digest.  With
+    ``salvage=False`` (the default) any damage -- missing file, truncated
+    or bit-flipped JSON, wrong payload type, checksum or digest mismatch
+    -- raises :class:`~repro.errors.CheckpointError` naming the path and a
+    recovery hint.  With ``salvage=True`` a damaged file is quarantined to
+    ``<path>.corrupt-<n>`` and the digest-valid subset of its cells is
+    returned instead, so ``--resume`` keeps every provably good cell and
+    recomputes only the rest.
+    """
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except FileNotFoundError:
+        raise CheckpointError(
+            path,
+            "file does not exist",
+            hint="run without --resume to start fresh, or point --checkpoint"
+                 " at the file a previous run actually wrote",
+        ) from None
+    try:
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"payload is {type(data).__name__}, expected an object"
+            )
+    except ValueError as error:
+        if salvage:
+            return _salvage_checkpoint(path, text, str(error))
+        raise CheckpointError(
+            path,
+            f"unreadable JSON ({error})",
+            hint="the file is truncated or corrupt; --resume salvages the"
+                 " valid cells automatically, or delete it to start fresh",
+        ) from None
+
+    if "_meta" not in data:  # legacy version-1 schema: no integrity data
+        version = data.get("version")
+        if version != 1:
+            raise CheckpointError(
+                path,
+                f"has version {version!r}, expected 1 or"
+                f" {_CHECKPOINT_VERSION}",
+                hint="this file was written by an incompatible release;"
+                     " delete it or regenerate the sweep",
+            )
+        cells = data.get("cells", {})
+        if not isinstance(cells, dict):
+            raise CheckpointError(
+                path, "legacy 'cells' entry is not an object",
+                hint="delete the file and rerun without --resume",
+            )
+        return _normalized_checkpoint(
+            1, data.get("n_cycles"), data.get("warmup_cycles"), dict(cells)
+        )
+
+    meta = data["_meta"]
+    cell_block = data.get("cells")
+    damage = None
+    if not isinstance(meta, dict) or not isinstance(cell_block, dict):
+        damage = "malformed _meta/cells structure"
+    elif meta.get("version") != _CHECKPOINT_VERSION:
+        raise CheckpointError(
+            path,
+            f"has version {meta.get('version')!r},"
+            f" expected {_CHECKPOINT_VERSION}",
+            hint="this file was written by an incompatible release;"
+                 " delete it or regenerate the sweep",
+        )
+    elif _content_digest(cell_block) != meta.get("checksum"):
+        damage = "content checksum mismatch"
+    if damage is None:
+        cells = {}
+        for key, record in cell_block.items():
+            if (
+                not isinstance(record, dict)
+                or _content_digest(record.get("metrics")) != record.get("digest")
+            ):
+                damage = f"cell {key!r} fails its digest"
+                break
+            cells[key] = record["metrics"]
+    if damage is not None:
+        if salvage:
+            return _salvage_checkpoint(path, text, damage)
+        raise CheckpointError(
+            path,
+            damage,
+            hint="the file was corrupted on disk; --resume salvages the"
+                 " valid cells automatically, or delete it to start fresh",
+        )
+    return _normalized_checkpoint(
+        _CHECKPOINT_VERSION, meta.get("n_cycles"), meta.get("warmup_cycles"),
+        cells,
+    )
 
 
 def _metrics_from_dict(data: dict) -> RelativeMetrics:
     names = {f.name for f in fields(RelativeMetrics)}
     return RelativeMetrics(**{k: v for k, v in data.items() if k in names})
+
+
+def _circuit_open_report(
+    benchmark: str, technique: str, seed: Optional[int]
+) -> FailureReport:
+    """A cell parked (never attempted) by the per-benchmark circuit breaker."""
+    return FailureReport(
+        benchmark=benchmark,
+        technique=technique,
+        seed=seed,
+        attempts=0,
+        error_type="CircuitOpen",
+        message=(
+            f"parked by the circuit breaker: the first pending cell of"
+            f" {benchmark!r} exhausted its retry budget"
+        ),
+        skipped=True,
+    )
+
+
+def _worker_lost_report(
+    benchmark: str, technique: str, seed: Optional[int],
+    losses: int, detail: str,
+) -> FailureReport:
+    """A cell abandoned after repeatedly losing its worker process."""
+    return FailureReport(
+        benchmark=benchmark,
+        technique=technique,
+        seed=seed,
+        attempts=losses,
+        error_type=WorkerLostError.__name__,
+        message=detail,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -253,7 +611,10 @@ def _call_with_alarm(fn: Callable[[], object], timeout_s: float):
 
     The interval timer preempts the running cell in place -- no helper
     thread is created, so a timed-out cell leaves nothing behind.  The
-    previous handler and timer are restored on exit.
+    previous handler and timer are restored on exit; a pre-existing
+    ITIMER_REAL is re-armed with whatever time it had left (minus the
+    cell's elapsed time), so an ambient timer is delayed at worst, never
+    silently cancelled.
     """
 
     def on_alarm(signum, frame):
@@ -262,12 +623,20 @@ def _call_with_alarm(fn: Callable[[], object], timeout_s: float):
         )
 
     previous = signal.signal(signal.SIGALRM, on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    started = time.monotonic()
+    prev_delay, prev_interval = signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
         return fn()
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if prev_delay > 0.0:
+            remaining = prev_delay - (time.monotonic() - started)
+            # An ambient timer that came due while the cell ran still has
+            # to fire: deliver it almost immediately rather than dropping it.
+            signal.setitimer(
+                signal.ITIMER_REAL, max(remaining, 1e-6), prev_interval
+            )
 
 
 def _call_with_thread(fn: Callable[[], object], timeout_s: float):
@@ -317,13 +686,114 @@ def _call_with_timeout(fn: Callable[[], object], timeout_s: Optional[float]):
 
 
 # ----------------------------------------------------------------------
+# Retry backoff and graceful-drain plumbing
+# ----------------------------------------------------------------------
+
+def _backoff_delay_s(
+    technique: str,
+    benchmark: str,
+    seed: Optional[int],
+    attempt: int,
+    base_s: float,
+    max_s: float,
+) -> float:
+    """Deterministic exponential backoff with seeded jitter.
+
+    Attempt ``k`` (k >= 1) sleeps ``base * 2^(k-1)`` seconds, capped at
+    ``max_s``, scaled by a jitter factor in [0.5, 1.5) drawn from an RNG
+    seeded on the cell identity -- so two runs of the same sweep back off
+    identically, but a grid of cells does not thunder in lockstep.
+    """
+    if base_s <= 0.0 or attempt < 1:
+        return 0.0
+    delay = min(max_s, base_s * (2.0 ** (attempt - 1)))
+    rng = random.Random(f"{technique}|{benchmark}|{seed}|{attempt}")
+    return delay * (0.5 + rng.random())
+
+
+class _DrainFlag:
+    """Set by the signal handler; checked at every sweep barrier."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.signum = 0
+
+    def request(self, signum: int) -> None:
+        self.signum = signum
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def signal_name(self) -> str:
+        try:
+            return signal.Signals(self.signum).name
+        except ValueError:  # pragma: no cover - synthetic signum
+            return str(self.signum)
+
+
+@contextlib.contextmanager
+def _drain_on_signals(drain: "_DrainFlag"):
+    """Turn SIGTERM/SIGINT into a drain request for the enclosed sweep.
+
+    The first signal asks for a graceful drain (finish or abandon in-flight
+    cells, flush the checkpoint, raise :class:`SweepInterrupted`); a second
+    signal while draining escalates to an immediate KeyboardInterrupt.
+    Handlers can only be installed from the main thread; elsewhere the
+    sweep runs unsupervised exactly as before.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def on_signal(signum, frame):
+        if drain.is_set():
+            raise KeyboardInterrupt
+        drain.request(signum)
+
+    managed = (signal.SIGTERM, signal.SIGINT)
+    previous = {}
+    try:
+        for sig in managed:
+            previous[sig] = signal.signal(sig, on_signal)
+    except (ValueError, OSError):  # pragma: no cover - exotic host
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        yield
+        return
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
+# ----------------------------------------------------------------------
 # Worker-process entry points
 # ----------------------------------------------------------------------
 
-#: Per-worker-process cache: the runner rebuilt from the last cell spec.
-#: Keeping it across cells lets one worker reuse base runs (and their LRU
+#: Per-worker-process cache: the runner rebuilt from the last cell spec,
+#: plus the heartbeat channel installed by the pool initializer.  Keeping
+#: the runner across cells lets one worker reuse base runs (and their LRU
 #: bound) exactly as the sequential path does within its own process.
 _WORKER_STATE: dict = {}
+
+
+def _worker_init_heartbeat(heartbeats) -> None:
+    """Pool initializer: remember the shared heartbeat channel."""
+    _WORKER_STATE["heartbeats"] = heartbeats
+
+
+def _worker_beat(stage: str, cell_label: str) -> None:
+    """Record this worker's liveness (best effort -- never fail the cell)."""
+    heartbeats = _WORKER_STATE.get("heartbeats")
+    if heartbeats is None:
+        return
+    try:
+        heartbeats[os.getpid()] = (stage, cell_label, time.time())
+    except Exception:  # manager gone mid-shutdown: liveness is moot
+        pass
 
 
 def _worker_run_cell(
@@ -334,6 +804,8 @@ def _worker_run_cell(
     seed: Optional[int],
     timeout_s: Optional[float],
     max_retries: int,
+    backoff_base_s: float = 0.0,
+    backoff_max_s: float = 30.0,
 ):
     """Execute one sweep cell inside a pool worker.
 
@@ -345,22 +817,41 @@ def _worker_run_cell(
     sequential path -- pool workers execute cells on their main thread, so
     the SIGALRM bound applies and a timed-out cell dies in place instead of
     leaking a live thread.
+
+    The worker stamps a heartbeat at cell start, at every retry attempt,
+    and at completion; the parent's supervisor treats a ``run``-stage
+    stamp older than ``heartbeat_stale_s`` as a hung worker.
     """
-    if _WORKER_STATE.get("spec") != spec_blob:
-        config, supply_transform, max_base_cache_entries = pickle.loads(
-            spec_blob
+    cell_label = f"{benchmark}|{'-' if seed is None else seed}"
+    _worker_beat("run", cell_label)
+    try:
+        if _WORKER_STATE.get("spec") != spec_blob:
+            config, supply_transform, max_base_cache_entries = pickle.loads(
+                spec_blob
+            )
+            _WORKER_STATE["runner"] = BenchmarkRunner(
+                config,
+                supply_transform=supply_transform,
+                max_base_cache_entries=max_base_cache_entries,
+            )
+            _WORKER_STATE["spec"] = spec_blob
+        runner: "BenchmarkRunner" = _WORKER_STATE["runner"]
+        resilience = ResilienceConfig(
+            timeout_s=timeout_s,
+            max_retries=max_retries,
+            backoff_base_s=backoff_base_s,
+            backoff_max_s=backoff_max_s,
         )
-        _WORKER_STATE["runner"] = BenchmarkRunner(
-            config,
-            supply_transform=supply_transform,
-            max_base_cache_entries=max_base_cache_entries,
+        return runner._run_cell(
+            benchmark,
+            technique,
+            factory,
+            resilience,
+            base_seed=seed,
+            on_attempt=lambda attempt: _worker_beat("run", cell_label),
         )
-        _WORKER_STATE["spec"] = spec_blob
-    runner: "BenchmarkRunner" = _WORKER_STATE["runner"]
-    resilience = ResilienceConfig(timeout_s=timeout_s, max_retries=max_retries)
-    return runner._run_cell(
-        benchmark, technique, factory, resilience, base_seed=seed
-    )
+    finally:
+        _worker_beat("idle", cell_label)
 
 
 class BenchmarkRunner:
@@ -406,18 +897,44 @@ class BenchmarkRunner:
         self._sweep_count = 0
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_workers = 0
+        self._executor_heartbeat = False
+        self._manager = None
+        self._heartbeats = None
+        self._closed = False
+        self._checkpoint_write_warned = False
 
     # ------------------------------------------------------------------
     # Process-pool lifecycle
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Shut down the worker pool, if one was created."""
+    def _shutdown_executor(self) -> None:
+        """Release the worker pool (rebuildable; the runner stays open)."""
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
             self._executor_workers = 0
+            self._executor_heartbeat = False
+
+    def close(self) -> None:
+        """Release the worker pool and heartbeat channel; idempotent.
+
+        A closed runner refuses further sweeps (and ``with`` re-entry)
+        with :class:`~repro.errors.HarnessError` -- a clear error beats a
+        sweep silently hanging on a dead pool.
+        """
+        self._shutdown_executor()
+        if self._manager is not None:
+            with contextlib.suppress(Exception):
+                self._manager.shutdown()
+            self._manager = None
+            self._heartbeats = None
+        self._closed = True
 
     def __enter__(self) -> "BenchmarkRunner":
+        if self._closed:
+            raise HarnessError(
+                "BenchmarkRunner is closed: its worker pool was released;"
+                " create a new runner instead of re-entering this one"
+            )
         return self
 
     def __exit__(self, *exc) -> None:
@@ -429,13 +946,65 @@ class BenchmarkRunner:
         except Exception:
             pass
 
-    def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
-        if self._executor is not None and self._executor_workers != workers:
-            self.close()
+    def _worker_pids(self) -> List[int]:
+        """PIDs of the live pool workers (empty when no pool exists)."""
+        executor = self._executor
+        processes = getattr(executor, "_processes", None) if executor else None
+        return list(processes or ())
+
+    def _kill_workers(self) -> None:
+        """SIGKILL every pool worker (drain deadline passed / worker hung)."""
+        for pid in self._worker_pids():
+            with contextlib.suppress(OSError):
+                os.kill(pid, signal.SIGKILL)
+
+    def _ensure_executor(
+        self, workers: int, heartbeat: bool = False
+    ) -> ProcessPoolExecutor:
+        if self._closed:
+            raise HarnessError(
+                "BenchmarkRunner is closed: create a new runner to sweep again"
+            )
+        if self._executor is not None and (
+            self._executor_workers != workers
+            or self._executor_heartbeat != heartbeat
+        ):
+            self._shutdown_executor()
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=workers)
+            if heartbeat:
+                if self._manager is None:
+                    self._manager = multiprocessing.Manager()
+                    self._heartbeats = self._manager.dict()
+                self._heartbeats.clear()
+                self._executor = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_worker_init_heartbeat,
+                    initargs=(self._heartbeats,),
+                )
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=workers)
             self._executor_workers = workers
+            self._executor_heartbeat = heartbeat
         return self._executor
+
+    def _stale_worker_pids(self, stale_s: float) -> List[int]:
+        """PIDs whose current cell has not progressed for ``stale_s``."""
+        if self._heartbeats is None:
+            return []
+        now = time.time()
+        alive = set(self._worker_pids())
+        stale = []
+        try:
+            snapshot = dict(self._heartbeats)
+        except Exception:  # manager already torn down
+            return []
+        for pid, entry in snapshot.items():
+            if pid not in alive:
+                continue
+            stage, _cell_label, stamped = entry
+            if stage == "run" and now - stamped > stale_s:
+                stale.append(pid)
+        return stale
 
     # ------------------------------------------------------------------
     # Building and running single cells
@@ -571,41 +1140,77 @@ class BenchmarkRunner:
         return ResilienceConfig()
 
     def _load_cells(self, resilience: ResilienceConfig) -> Dict[str, dict]:
-        """The in-memory mirror of the checkpoint's completed cells."""
+        """The in-memory mirror of the checkpoint's completed cells.
+
+        A corrupt or truncated checkpoint is salvaged (digest-valid cells
+        kept, the original quarantined) rather than failing the resume;
+        only a checkpoint from an incompatible sweep configuration is
+        refused outright.
+        """
         if self._checkpoint_cells is not None:
             return self._checkpoint_cells
         cells: Dict[str, dict] = {}
         path = resilience.checkpoint_path
         if resilience.resume and path and os.path.exists(path):
-            data = load_checkpoint(path)
-            if (
-                data.get("n_cycles") != self.config.n_cycles
-                or data.get("warmup_cycles") != self.config.warmup_cycles
-            ):
+            data = load_checkpoint(path, salvage=True)
+            recovered_n = data.get("n_cycles")
+            recovered_warmup = data.get("warmup_cycles")
+            mismatched = (
+                recovered_n is not None
+                and recovered_n != self.config.n_cycles
+            ) or (
+                recovered_warmup is not None
+                and recovered_warmup != self.config.warmup_cycles
+            )
+            if mismatched:
                 raise ConfigurationError(
                     f"checkpoint {path!r} was written for"
-                    f" n_cycles={data.get('n_cycles')}"
-                    f" warmup_cycles={data.get('warmup_cycles')}, which does"
+                    f" n_cycles={recovered_n}"
+                    f" warmup_cycles={recovered_warmup}, which does"
                     f" not match this sweep"
                     f" (n_cycles={self.config.n_cycles},"
                     f" warmup_cycles={self.config.warmup_cycles})"
                 )
             cells = dict(data.get("cells", {}))
+            if data.get("quarantined"):
+                # Salvage moved the damaged original aside; re-persist
+                # the recovered subset immediately so the checkpoint
+                # path stays valid even if no cell re-runs (e.g. every
+                # record survived the damage).
+                self._checkpoint_cells = cells
+                self._save_cells(resilience)
         self._checkpoint_cells = cells
         return cells
 
     def _save_cells(self, resilience: ResilienceConfig) -> None:
+        """Flush the completed cells to the checkpoint, durably.
+
+        A failing write (disk full, I/O error) is reported once as a
+        RuntimeWarning and otherwise tolerated: results are still held in
+        memory and the next successful flush persists them, so a sick disk
+        degrades durability without aborting the sweep.
+        """
         if resilience.checkpoint_path is None:
             return
-        _write_checkpoint(
-            resilience.checkpoint_path,
-            {
-                "version": _CHECKPOINT_VERSION,
-                "n_cycles": self.config.n_cycles,
-                "warmup_cycles": self.config.warmup_cycles,
-                "cells": self._checkpoint_cells or {},
-            },
+        payload = _checkpoint_payload(
+            self.config.n_cycles,
+            self.config.warmup_cycles,
+            self._checkpoint_cells or {},
         )
+        try:
+            _write_checkpoint(resilience.checkpoint_path, payload)
+        except OSError as error:
+            if not self._checkpoint_write_warned:
+                self._checkpoint_write_warned = True
+                warnings.warn(
+                    f"checkpoint write to"
+                    f" {resilience.checkpoint_path!r} failed"
+                    f" ({type(error).__name__}: {error}); the sweep"
+                    f" continues, but completed cells stay unflushed until"
+                    f" a write succeeds",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
 
     def _run_cell(
         self,
@@ -614,14 +1219,19 @@ class BenchmarkRunner:
         factory: ControllerFactory,
         resilience: ResilienceConfig,
         base_seed: Optional[int] = None,
+        on_attempt: Optional[Callable[[int], None]] = None,
     ):
         """One (benchmark, technique, seed) cell with timeout and retry.
 
         Returns ``(metrics, None)`` on success or ``(None, FailureReport)``
         once every attempt -- the original run plus ``max_retries``
-        deterministically re-seeded ones -- has failed.  Interrupts
-        (KeyboardInterrupt / SystemExit) always propagate so a killed sweep
-        stops at a checkpointed boundary instead of "retrying" the kill.
+        deterministically re-seeded ones -- has failed.  Retry attempts
+        wait out a deterministic exponential backoff (seeded jitter, see
+        :func:`_backoff_delay_s`) when ``backoff_base_s`` is set, and
+        ``on_attempt`` fires at the start of each attempt (the parallel
+        backend's heartbeat).  Interrupts (KeyboardInterrupt / SystemExit)
+        always propagate so a killed sweep stops at a checkpointed boundary
+        instead of "retrying" the kill.
         """
         last_error: Optional[BaseException] = None
         seed = base_seed
@@ -634,6 +1244,14 @@ class BenchmarkRunner:
                     else SPEC2K[benchmark].seed
                 )
                 seed = origin + _RESEED_STRIDE * attempt
+                delay = _backoff_delay_s(
+                    technique, benchmark, base_seed, attempt,
+                    resilience.backoff_base_s, resilience.backoff_max_s,
+                )
+                if delay > 0.0:
+                    time.sleep(delay)
+            if on_attempt is not None:
+                on_attempt(attempt)
             try:
                 metrics = _call_with_timeout(
                     lambda: self.compare(benchmark, factory, seed=seed),
@@ -713,10 +1331,23 @@ class BenchmarkRunner:
         cells first).
 
         The returned summary carries a ``timings`` attribute with the
-        per-phase wall-clock breakdown (see :class:`TechniqueSummary`).
+        per-phase wall-clock breakdown and an ``incidents`` attribute with
+        the worker-supervision events (see :class:`TechniqueSummary`).
+
+        Sweeps drain gracefully: SIGTERM or SIGINT during a sweep stops
+        dispatching new cells, flushes a final checkpoint (plus a
+        ``<checkpoint>.shutdown.json`` summary), and raises
+        :class:`~repro.errors.SweepInterrupted` -- the CLI exits nonzero
+        but the run resumes with ``--resume``.
         """
+        if self._closed:
+            raise HarnessError(
+                "BenchmarkRunner is closed: its worker pool was released;"
+                " create a new runner to sweep again"
+            )
         t_total = time.perf_counter()
         resilience = self._resolve_resilience(resilience)
+        self._checkpoint_write_warned = False
         names = list(benchmarks) if benchmarks is not None else sorted(SPEC2K)
         seed_list: List[Optional[int]] = (
             list(seeds) if seeds is not None else [None]
@@ -748,17 +1379,22 @@ class BenchmarkRunner:
             "checkpoint_io": 0.0,
         }
 
+        incidents: List[FailureReport] = []
+        drain = _DrainFlag()
         t_execute = time.perf_counter()
-        if workers > 1:
-            self._execute_parallel(
-                pending, ordinal, technique, factory, resilience, workers,
-                progress, cells, results, failure_map, timings, grid,
-            )
-        else:
-            self._execute_sequential(
-                grid, ordinal, technique, factory, resilience,
-                progress, cells, results, failure_map, timings,
-            )
+        with _drain_on_signals(drain):
+            if workers > 1:
+                self._execute_parallel(
+                    pending, ordinal, technique, factory, resilience, workers,
+                    progress, cells, results, failure_map, timings, grid,
+                    drain, incidents,
+                )
+            else:
+                self._execute_sequential(
+                    grid, ordinal, technique, factory, resilience,
+                    progress, cells, results, failure_map, timings,
+                    drain,
+                )
         timings["execute"] = time.perf_counter() - t_execute
 
         t_aggregate = time.perf_counter()
@@ -784,10 +1420,60 @@ class BenchmarkRunner:
         summary = summarize(rows, violation_cycles, failures=tuple(failures))
         timings["aggregate"] = time.perf_counter() - t_aggregate
         timings["total"] = time.perf_counter() - t_total
-        # Diagnostic attribute, deliberately outside the dataclass fields
-        # (see TechniqueSummary): summaries stay comparable across backends.
+        # Diagnostic attributes, deliberately outside the dataclass fields
+        # (see TechniqueSummary): summaries stay comparable across backends
+        # and across supervision incidents.
         object.__setattr__(summary, "timings", timings)
+        object.__setattr__(summary, "incidents", tuple(incidents))
         return summary
+
+    def _shutdown_summary(
+        self,
+        resilience: ResilienceConfig,
+        technique: str,
+        drain: "_DrainFlag",
+        completed: int,
+        pending_cells: Sequence[Tuple[str, Optional[int]]],
+    ) -> None:
+        """Write ``<checkpoint>.shutdown.json`` describing the drain."""
+        if resilience.checkpoint_path is None:
+            return
+        payload = {
+            "signal": drain.signal_name,
+            "technique": technique,
+            "completed_cells": completed,
+            "pending_cells": [
+                [name, seed] for name, seed in pending_cells
+            ],
+            "resumable": resilience.checkpoint_path is not None,
+            "checkpoint": resilience.checkpoint_path,
+        }
+        with contextlib.suppress(OSError):
+            _atomic_write_json(
+                f"{resilience.checkpoint_path}.shutdown.json", payload
+            )
+
+    def _drain_now(
+        self,
+        resilience: ResilienceConfig,
+        technique: str,
+        drain: "_DrainFlag",
+        completed: int,
+        pending_cells: Sequence[Tuple[str, Optional[int]]],
+    ) -> "SweepInterrupted":
+        """Final checkpoint flush + shutdown summary; returns the exception."""
+        self._save_cells(resilience)
+        self._shutdown_summary(
+            resilience, technique, drain, completed, pending_cells
+        )
+        return SweepInterrupted(
+            f"sweep drained on {drain.signal_name}: {completed} cell(s)"
+            f" completed and checkpointed, {len(pending_cells)} pending;"
+            f" rerun with --resume to finish",
+            signum=drain.signum,
+            completed=completed,
+            pending=len(pending_cells),
+        )
 
     def _execute_sequential(
         self,
@@ -801,19 +1487,45 @@ class BenchmarkRunner:
         results: Dict[Tuple[str, Optional[int]], RelativeMetrics],
         failure_map: Dict[Tuple[str, Optional[int]], FailureReport],
         timings: Dict[str, float],
+        drain: "_DrainFlag",
     ) -> None:
-        """Run pending cells in-process, in grid order."""
+        """Run pending cells in-process, in grid order.
+
+        The circuit breaker gates each benchmark on its first *pending*
+        cell: if that probe cell exhausts its retry budget, the
+        benchmark's remaining pending cells are parked as ``skipped``
+        failures instead of burning the same budget once per seed.  The
+        rule depends only on grid order, so the parallel backend (which
+        dispatches the same probes first) parks the identical set.
+        """
+        open_benchmarks: set = set()
+        probed: set = set()
         for name, seed in grid:
             cell = (name, seed)
             if cell in results:  # resumed from the checkpoint
                 if progress is not None:
                     progress(name, results[cell])
                 continue
+            if drain.is_set():
+                pending_after = [
+                    c for c in grid
+                    if c not in results and c not in failure_map
+                ]
+                raise self._drain_now(
+                    resilience, technique, drain, len(results), pending_after
+                )
+            if name in open_benchmarks:
+                failure_map[cell] = _circuit_open_report(name, technique, seed)
+                continue
+            is_probe = name not in probed
+            probed.add(name)
             metrics, failure = self._run_cell(
                 name, technique, factory, resilience, base_seed=seed
             )
             if failure is not None:
                 failure_map[cell] = failure
+                if is_probe and resilience.circuit_breaker:
+                    open_benchmarks.add(name)
                 continue
             results[cell] = metrics
             cells[_cell_key(ordinal, name, technique, seed)] = asdict(metrics)
@@ -837,13 +1549,30 @@ class BenchmarkRunner:
         failure_map: Dict[Tuple[str, Optional[int]], FailureReport],
         timings: Dict[str, float],
         grid: Sequence[Tuple[str, Optional[int]]],
+        drain: "_DrainFlag",
+        incidents: List[FailureReport],
     ) -> None:
-        """Run pending cells on the process pool.
+        """Run pending cells on a *supervised* process pool.
 
         The parent writes the checkpoint as cells complete (completion
         order, but cell-keyed, so the final file is byte-identical to a
-        sequential run's) and reports ``progress`` in completion order.
-        Cached cells are reported first, in grid order.
+        sequential run's) and reports ``progress`` in completion order;
+        cached cells are reported first, in grid order.
+
+        Supervision: cells are dispatched incrementally (a bounded window
+        rather than all up front).  A dead worker (``BrokenProcessPool``
+        -- OOM kill, segfault, SIGKILL) or a hung one (heartbeat older
+        than ``heartbeat_stale_s``, killed by the supervisor) triggers a
+        pool rebuild; the lost cells are requeued with a per-cell restart
+        budget (``max_worker_restarts``) and each event is recorded on the
+        summary's ``incidents``.  Cells that keep losing their worker are
+        parked as ``WorkerLostError`` failures; the sweep always
+        terminates instead of hanging on a poisoned pool.
+
+        A drain request (SIGTERM/SIGINT) stops dispatch, waits up to
+        ``drain_deadline_s`` for in-flight cells, kills whatever is still
+        running, flushes the checkpoint and raises
+        :class:`SweepInterrupted`.
         """
         if progress is not None:
             for cell in grid:
@@ -853,9 +1582,45 @@ class BenchmarkRunner:
             (self.config, self.supply_transform, self.max_base_cache_entries),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        executor = self._ensure_executor(workers)
-        futures = {
-            executor.submit(
+        heartbeat = resilience.heartbeat_stale_s is not None
+        executor = self._ensure_executor(workers, heartbeat=heartbeat)
+
+        # Circuit-breaker gating mirrors the sequential rule exactly: the
+        # first pending cell of each benchmark (grid order) is its probe;
+        # the rest of that benchmark's cells are held until the probe
+        # resolves, then released (probe succeeded or lost its worker) or
+        # parked (probe exhausted its retry budget).
+        held: Dict[str, List[Tuple[str, Optional[int]]]] = {}
+        probes: Dict[Tuple[str, Optional[int]], str] = {}
+        queue: deque = deque()
+        if resilience.circuit_breaker:
+            seen: set = set()
+            for cell in pending:
+                name = cell[0]
+                if name in seen:
+                    held.setdefault(name, []).append(cell)
+                else:
+                    seen.add(name)
+                    probes[cell] = name
+                    queue.append(cell)
+        else:
+            queue.extend(pending)
+
+        inflight: Dict[object, Tuple[str, Optional[int]]] = {}
+        lost_cells: List[Tuple[str, Optional[int]]] = []
+        lost_detail = ""
+        lost_counts: Dict[Tuple[str, Optional[int]], int] = {}
+        # Each rebuild loses at least one in-flight cell, and each cell is
+        # parked after max_worker_restarts losses, so this hard cap can
+        # only bind if supervision itself misbehaves.
+        rebuilds_left = (resilience.max_worker_restarts + 1) * max(
+            1, len(pending)
+        )
+        pool_broken = False
+
+        def submit(cell):
+            name, seed = cell
+            future = executor.submit(
                 _worker_run_cell,
                 spec_blob,
                 factory,
@@ -864,41 +1629,181 @@ class BenchmarkRunner:
                 seed,
                 resilience.timeout_s,
                 resilience.max_retries,
-            ): (name, seed)
-            for name, seed in pending
-        }
-        try:
-            for future in as_completed(futures):
-                name, seed = futures[future]
-                try:
-                    metrics, failure = future.result()
-                except BrokenProcessPool as error:
-                    # A worker died hard (OOM kill, segfault): the pool is
-                    # poisoned.  Completed cells are already checkpointed,
-                    # so a --resume continues from here.
-                    self.close()
-                    raise FaultError(
-                        f"worker process died while running cell"
-                        f" ({name!r}, seed={seed!r}): {error}; completed"
-                        f" cells are checkpointed -- resume to continue"
-                    ) from error
-                if failure is not None:
-                    failure_map[(name, seed)] = failure
-                    continue
-                results[(name, seed)] = metrics
-                cells[_cell_key(ordinal, name, technique, seed)] = asdict(
-                    metrics
+                resilience.backoff_base_s,
+                resilience.backoff_max_s,
+            )
+            inflight[future] = cell
+
+        def release_probe(cell, run_failed: bool):
+            """Unblock (or park) the cells held behind a probe."""
+            name = probes.pop(cell, None)
+            if name is None:
+                return
+            for follower in held.pop(name, []):
+                if run_failed:
+                    failure_map[follower] = _circuit_open_report(
+                        name, technique, follower[1]
+                    )
+                else:
+                    queue.append(follower)
+
+        def record_result(cell, metrics, failure):
+            name, seed = cell
+            if failure is not None:
+                failure_map[cell] = failure
+                release_probe(cell, run_failed=True)
+                return
+            results[cell] = metrics
+            cells[_cell_key(ordinal, name, technique, seed)] = asdict(metrics)
+            t_io = time.perf_counter()
+            self._save_cells(resilience)
+            timings["checkpoint_io"] += time.perf_counter() - t_io
+            release_probe(cell, run_failed=False)
+            if progress is not None:
+                progress(name, metrics)
+
+        def abandon_cell(cell, losses, detail):
+            failure_map[cell] = _worker_lost_report(
+                cell[0], technique, cell[1], losses, detail
+            )
+            release_probe(cell, run_failed=False)
+
+        def handle_lost_cells():
+            """Requeue (or park) cells whose worker died; rebuild the pool."""
+            nonlocal executor, pool_broken, rebuilds_left, lost_detail
+            lost, detail = list(lost_cells), lost_detail
+            lost_cells.clear()
+            lost_detail = ""
+            for cell in lost:
+                losses = lost_counts.get(cell, 0) + 1
+                lost_counts[cell] = losses
+                incidents.append(
+                    _worker_lost_report(
+                        cell[0], technique, cell[1], losses, detail
+                    )
                 )
-                t_io = time.perf_counter()
-                self._save_cells(resilience)
-                timings["checkpoint_io"] += time.perf_counter() - t_io
-                if progress is not None:
-                    progress(name, metrics)
+                if losses > resilience.max_worker_restarts:
+                    abandon_cell(
+                        cell,
+                        losses,
+                        f"abandoned after losing its worker {losses} time(s)"
+                        f" (budget {resilience.max_worker_restarts});"
+                        f" last incident: {detail}",
+                    )
+                else:
+                    queue.appendleft(cell)
+            rebuilds_left -= 1
+            self._shutdown_executor()
+            pool_broken = False
+            if rebuilds_left <= 0:
+                # Abandoning a probe releases its held cells into the
+                # queue; keep draining until nothing is left anywhere.
+                while queue:
+                    cell = queue.popleft()
+                    abandon_cell(
+                        cell, lost_counts.get(cell, 0),
+                        "worker-restart budget exhausted for the whole sweep",
+                    )
+            executor = self._ensure_executor(workers, heartbeat=heartbeat)
+
+        def drain_and_raise():
+            deadline = time.monotonic() + resilience.drain_deadline_s
+            while inflight and time.monotonic() < deadline:
+                done, _ = futures_wait(
+                    set(inflight), timeout=_SUPERVISOR_POLL_S,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    cell = inflight.pop(future)
+                    try:
+                        metrics, failure = future.result()
+                    except BaseException:
+                        continue  # lost to the drain; --resume recomputes
+                    if failure is None:
+                        name, seed = cell
+                        results[cell] = metrics
+                        cells[
+                            _cell_key(ordinal, name, technique, seed)
+                        ] = asdict(metrics)
+            for future in inflight:
+                future.cancel()
+            if inflight:  # still running past the deadline: kill the pool
+                self._kill_workers()
+            self._shutdown_executor()
+            pending_after = [
+                c for c in grid if c not in results and c not in failure_map
+            ]
+            raise self._drain_now(
+                resilience, technique, drain, len(results), pending_after
+            )
+
+        try:
+            while queue or inflight or any(held.values()):
+                if drain.is_set():
+                    drain_and_raise()
+                if not pool_broken:
+                    while queue and len(inflight) < 2 * workers:
+                        cell = queue.popleft()
+                        try:
+                            submit(cell)
+                        except BrokenProcessPool as error:
+                            # The pool broke between completions; recover
+                            # through the same lost-cell path.
+                            pool_broken = True
+                            lost_cells.append(cell)
+                            lost_detail = (
+                                f"worker pool broke at dispatch"
+                                f" ({type(error).__name__}: {error})"
+                            )
+                            break
+                if not inflight:
+                    # Held cells with no live probe would deadlock; the
+                    # bookkeeping above always resolves probes, so this is
+                    # pure belt-and-braces.
+                    if not queue:
+                        for name, followers in list(held.items()):
+                            queue.extend(followers)
+                            held.pop(name)
+                    continue
+                done, _ = futures_wait(
+                    set(inflight), timeout=_SUPERVISOR_POLL_S,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    if heartbeat and not pool_broken:
+                        stale = self._stale_worker_pids(
+                            resilience.heartbeat_stale_s
+                        )
+                        for pid in stale:
+                            # Killing the worker breaks the pool; the
+                            # normal lost-cell path rebuilds and requeues.
+                            with contextlib.suppress(OSError):
+                                os.kill(pid, signal.SIGKILL)
+                    continue
+                for future in done:
+                    cell = inflight.pop(future)
+                    try:
+                        metrics, failure = future.result()
+                    except BrokenProcessPool as error:
+                        # Hold the lost cell until the broken pool finishes
+                        # failing its remaining futures, then rebuild once.
+                        pool_broken = True
+                        lost_cells.append(cell)
+                        lost_detail = (
+                            f"worker process died mid-cell"
+                            f" ({type(error).__name__}: {error})"
+                        )
+                        continue
+                    record_result(cell, metrics, failure)
+                if pool_broken and not inflight:
+                    handle_lost_cells()
+        except SweepInterrupted:
+            raise
         except BaseException:
             # A kill (or a progress-raised abort) must not strand queued
             # work: unstarted cells are cancelled, in-flight results
             # discarded.  The checkpoint holds everything completed so far.
-            for future in futures:
+            for future in inflight:
                 future.cancel()
             raise
 

@@ -341,9 +341,11 @@ class TestCheckpointResume:
             other.sweep(tuning_factory, benchmarks=("swim",))
 
     def test_corrupt_version_is_rejected(self, tmp_path):
+        from repro.errors import CheckpointError
+
         path = tmp_path / "ck.json"
         path.write_text(json.dumps({"version": 99, "cells": {}}))
-        with pytest.raises(ConfigurationError, match="version"):
+        with pytest.raises(CheckpointError, match="version"):
             load_checkpoint(str(path))
 
     def test_multiple_sweeps_on_one_runner_get_distinct_keys(self, tmp_path):

@@ -49,3 +49,12 @@ match = fingerprint(sequential) == fingerprint(parallel)
 print(f"byte-identical aggregates: {match}  ({time.time()-t2:.0f}s)")
 if not match:
     raise SystemExit("parallel backend diverged from sequential results")
+
+print("\n--- chaos harness (quick): disturbed sweeps converge on --resume ---")
+t3 = time.time()
+import pathlib, subprocess, sys
+chaos_tool = pathlib.Path(__file__).with_name("chaos.py")
+status = subprocess.run([sys.executable, str(chaos_tool), "--quick"]).returncode
+if status != 0:
+    raise SystemExit("chaos harness found a crash-safety violation")
+print(f"({time.time()-t3:.0f}s)")
