@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import argparse
 import functools
-import sys
 from dataclasses import replace
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.config import PowerSupplyConfig, TABLE1_SUPPLY, TuningConfig
 from repro.errors import ReproError, SweepInterrupted
 
@@ -160,7 +160,9 @@ def _cmd_compare(args) -> int:
         summary = runner.sweep(
             factory,
             benchmarks=benchmarks,
-            resilience=ResilienceConfig(workers=args.workers),
+            resilience=ResilienceConfig(
+                workers=args.workers, checkpoint_path=args.checkpoint
+            ),
         )
     print(f"{'benchmark':10s} {'base viol':>10s} {'tech viol':>10s}"
           f" {'slowdown':>9s} {'E*D':>7s}")
@@ -222,6 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="convolution: systematic estimate gain")
     compare.add_argument("--workers", type=int, default=1,
                          help="worker processes for the comparison sweep")
+    compare.add_argument("--checkpoint", metavar="PATH", default=None,
+                         help="JSON checkpoint updated after every completed"
+                              " cell (also written as PATH.summary.json)")
+    obs.add_observability_flags(compare)
     compare.set_defaults(func=_cmd_compare)
 
     experiment = commands.add_parser("experiment", help="regenerate a paper artifact")
@@ -230,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.experiments.registry import add_resilience_flags
 
     add_resilience_flags(experiment)
+    obs.add_observability_flags(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     return parser
@@ -237,10 +244,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    observing = obs.configure_from_args(args)
+    logger = obs.get_logger("cli")
     try:
         return args.func(args)
     except SweepInterrupted as stop:
         # Graceful drain: completed cells are checkpointed; exit
         # EX_TEMPFAIL so callers know a --resume finishes the run.
-        print(f"interrupted: {stop}", file=sys.stderr)
+        logger.warning("interrupted: %s", stop)
         return stop.exit_code
+    finally:
+        if observing:
+            for path in obs.finalize(
+                metadata={"command": getattr(args, "command", None)}
+            ):
+                logger.info("observability artifact written: %s", path)

@@ -109,6 +109,14 @@ class ResonanceDetector:
         self.register_length = register_length
         self.last_event: Optional[ResonantEvent] = None
         self.total_events = 0
+        #: per-polarity event counts (observability harvest; plain ints so
+        #: the hot loop never touches the metrics registry)
+        self.events_by_polarity = {
+            Polarity.HIGH_LOW: 0, Polarity.LOW_HIGH: 0,
+        }
+        #: quarter-period comparisons actually performed (one per ready
+        #: adder per cycle -- the hardware's comparator activity)
+        self.comparisons = 0
         #: non-finite sensed samples survived (saturating diagnostic counter)
         self.nonfinite_samples = 0
         self._last_finite_amps = 0.0
@@ -135,9 +143,11 @@ class ResonanceDetector:
 
         best_magnitude = 0.0
         polarity: Optional[Polarity] = None
+        comparisons = 0
         for quarter in self._quarters:
             if not history.ready(quarter):
                 continue
+            comparisons += 1
             diff = history.quarter_diff(quarter)
             threshold = 0.5 * self.threshold_amps * quarter
             magnitude = abs(diff)
@@ -145,6 +155,7 @@ class ResonanceDetector:
                 best_magnitude = magnitude / quarter
                 polarity = Polarity.LOW_HIGH if diff > 0 else Polarity.HIGH_LOW
 
+        self.comparisons = min(self.comparisons + comparisons, COUNTER_CAP)
         self._histories[Polarity.HIGH_LOW].shift(
             cycle, polarity is Polarity.HIGH_LOW
         )
@@ -161,6 +172,9 @@ class ResonanceDetector:
         )
         self.last_event = event
         self.total_events = min(self.total_events + 1, COUNTER_CAP)
+        self.events_by_polarity[polarity] = min(
+            self.events_by_polarity[polarity] + 1, COUNTER_CAP
+        )
         return event
 
     def _trace_chain(self, cycle: int, polarity: Polarity) -> List[int]:

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import argparse
 import difflib
-import sys
 from typing import Callable, Dict, Optional, Sequence
 
+from repro import obs
 from repro.errors import SweepInterrupted
 
 from repro.experiments import (
@@ -302,17 +302,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="reduced cycles and benchmark subset for a fast pass",
     )
     add_resilience_flags(parser)
+    obs.add_observability_flags(parser)
     args = parser.parse_args(argv)
+    observing = obs.configure_from_args(args)
+    logger = obs.get_logger("experiments")
     resilience = resilience_from_args(args)
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    for name in names:
-        try:
-            result = run_experiment(
-                name, quick=args.quick, resilience=resilience
-            )
-        except SweepInterrupted as stop:
-            print(f"{name}: {stop}", file=sys.stderr)
-            return stop.exit_code
-        print(result.render())
-        print()
-    return 0
+    try:
+        for name in names:
+            try:
+                result = run_experiment(
+                    name, quick=args.quick, resilience=resilience
+                )
+            except SweepInterrupted as stop:
+                logger.warning("%s: %s", name, stop)
+                return stop.exit_code
+            print(result.render())
+            print()
+        return 0
+    finally:
+        if observing:
+            for path in obs.finalize(metadata={"experiments": list(names)}):
+                logger.info("observability artifact written: %s", path)

@@ -1,0 +1,143 @@
+"""Shared structured logging for the repro package.
+
+Every component logs through a child of the ``repro`` logger.  Two
+channels coexist:
+
+* :func:`get_logger` returns a standard :mod:`logging` logger whose
+  default handler writes plain messages to stderr at WARNING and above --
+  byte-identical to the ad-hoc ``print(..., file=sys.stderr)`` notices it
+  replaces.  ``--log-level`` (via :func:`configure_logging`) lowers the
+  threshold and switches to a structured ``timestamp level logger ::
+  message`` format.
+* :func:`warn_once` replaces the runner's ad-hoc ``warnings.warn`` calls:
+  it still emits a real :class:`Warning` (so ``pytest.warns``, ``-W
+  error`` and the default once-per-location display keep working) and
+  additionally records a structured DEBUG entry; an optional ``key``
+  dedups repeat emissions process-wide.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import threading
+import warnings
+from typing import Optional, Set, Type
+
+__all__ = [
+    "LOGGER_NAME",
+    "configure_logging",
+    "get_logger",
+    "reset_warn_dedup",
+    "warn_once",
+]
+
+LOGGER_NAME = "repro"
+
+#: Default, notice-preserving format: exactly the message, nothing else.
+_PLAIN_FORMAT = "%(message)s"
+#: Structured format installed when a log level is configured explicitly.
+_STRUCTURED_FORMAT = "%(asctime)s %(levelname)s %(name)s :: %(message)s"
+
+_lock = threading.Lock()
+_handler: Optional[logging.Handler] = None
+_seen_keys: Set[str] = set()
+
+
+class _StderrHandler(logging.StreamHandler):
+    """Stream handler bound to the *current* ``sys.stderr``.
+
+    Resolving the stream per-record (instead of at handler creation)
+    keeps routed notices visible through pytest's capture machinery and
+    any other stderr redirection installed after import.
+    """
+
+    def __init__(self):
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler API compat; always live
+        pass
+
+
+def _ensure_handler() -> logging.Handler:
+    """Install the stderr handler on the root ``repro`` logger, once."""
+    global _handler
+    with _lock:
+        if _handler is None:
+            handler = _StderrHandler()
+            handler.setFormatter(logging.Formatter(_PLAIN_FORMAT))
+            root = logging.getLogger(LOGGER_NAME)
+            root.addHandler(handler)
+            root.setLevel(logging.WARNING)
+            root.propagate = False
+            _handler = handler
+        return _handler
+
+
+def get_logger(name: str = LOGGER_NAME) -> logging.Logger:
+    """A logger under the shared ``repro`` hierarchy.
+
+    ``name`` may be a bare suffix (``"runner"``) or a full dotted path
+    (``"repro.sim.runner"``); both land under the same root handler.
+    """
+    _ensure_handler()
+    if name != LOGGER_NAME and not name.startswith(LOGGER_NAME + "."):
+        name = f"{LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(level: Optional[str]) -> None:
+    """Apply a ``--log-level`` choice (None keeps the plain default).
+
+    An explicit level switches the handler to the structured format so
+    DEBUG/INFO records carry their origin and timestamp.
+    """
+    handler = _ensure_handler()
+    if level is None:
+        return
+    numeric = logging.getLevelName(str(level).upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(LOGGER_NAME)
+    root.setLevel(numeric)
+    handler.setLevel(numeric)
+    handler.setFormatter(logging.Formatter(_STRUCTURED_FORMAT))
+
+
+def warn_once(
+    message: str,
+    key: Optional[str] = None,
+    category: Type[Warning] = RuntimeWarning,
+    stacklevel: int = 2,
+    logger: Optional[logging.Logger] = None,
+) -> bool:
+    """Emit a warning once per ``key`` (always, when ``key`` is None).
+
+    The warning goes through :mod:`warnings` (preserving stderr display
+    and test capture semantics) and is mirrored as a structured DEBUG
+    record on the shared logger.  Returns True when emitted, False when
+    deduplicated.
+    """
+    if key is not None:
+        with _lock:
+            if key in _seen_keys:
+                return False
+            _seen_keys.add(key)
+    # +1 accounts for this helper frame, so the reported location is the
+    # caller's caller, same as a direct warnings.warn at the call site.
+    warnings.warn(message, category, stacklevel=stacklevel + 1)
+    (logger or get_logger()).debug(
+        "%s (category=%s key=%s)", message, category.__name__, key
+    )
+    return True
+
+
+def reset_warn_dedup() -> None:
+    """Forget all :func:`warn_once` keys (test isolation hook)."""
+    with _lock:
+        _seen_keys.clear()

@@ -1,0 +1,309 @@
+"""Counters, gauges and histograms for the simulation and sweep hot paths.
+
+A :class:`MetricsRegistry` holds named metrics, each optionally split by a
+small set of label values (``sim_resonant_events_total{polarity=...}``).
+Instrumented code never pays for disabled metrics: the process-wide
+registry (:func:`active_registry`) is ``None`` until observability is
+configured, and call sites guard with a single attribute read.
+
+Two export formats are supported, both deterministic (sorted names, sorted
+label sets):
+
+* :meth:`MetricsRegistry.to_dict` / :meth:`to_json` -- machine-readable
+  JSON for the sweep smoke tests and downstream analysis;
+* :meth:`MetricsRegistry.to_prometheus` -- Prometheus text exposition
+  (``# HELP`` / ``# TYPE`` plus one sample line per label set).
+
+Worker processes accumulate into their own registry and ship the cell's
+delta back with :meth:`snapshot`; the parent's :meth:`merge` is additive
+and commutative, so the merged totals are independent of cell completion
+order -- parallel sweeps report the same numbers as sequential ones.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "active_registry",
+    "set_active_registry",
+]
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets for per-cell wall-clock latency, in seconds.
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(pairs: LabelPairs) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing value, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelPairs, float] = {}
+
+    def inc(self, amount: float = 1.0, labels: Optional[Dict[str, str]] = None) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, labels: Optional[Dict[str, str]] = None) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[LabelPairs, float]]:
+        return sorted(self._values.items())
+
+
+class Gauge:
+    """Last-written value, optionally split by labels."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelPairs, float] = {}
+
+    def set(self, value: float, labels: Optional[Dict[str, str]] = None) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, labels: Optional[Dict[str, str]] = None) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[LabelPairs, float]]:
+        return sorted(self._values.items())
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics: ``le`` bounds)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        # counts[i] observations fell at or below buckets[i]; the implicit
+        # +Inf bucket is (count - sum(counts)).
+        self._counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        index = bisect_left(self.buckets, value)
+        if index < len(self._counts):
+            self._counts[index] += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Per-``le`` cumulative counts, excluding the +Inf bucket."""
+        total, out = 0, []
+        for c in self._counts:
+            total += c
+            out.append(total)
+        return out
+
+
+class MetricsRegistry:
+    """Thread-safe home of every metric one process reports."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, kind, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as"
+                    f" {type(metric).__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, help=help, buckets=buckets)
+
+    def reset(self) -> None:
+        """Drop every metric (worker processes reset between cells)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # Snapshots and cross-process merging
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-data form of every metric, suitable for pickling."""
+        with self._lock:
+            out: dict = {}
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                entry: dict = {"kind": metric.kind, "help": metric.help}
+                if isinstance(metric, Histogram):
+                    entry["buckets"] = list(metric.buckets)
+                    entry["counts"] = list(metric._counts)
+                    entry["count"] = metric.count
+                    entry["sum"] = metric.sum
+                else:
+                    entry["samples"] = [
+                        [list(map(list, pairs)), value]
+                        for pairs, value in metric.samples()
+                    ]
+                out[name] = entry
+            return out
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` into this registry (additive for
+        counters and histograms, last-write for gauges)."""
+        for name, entry in snapshot.items():
+            kind = entry["kind"]
+            if kind == "histogram":
+                histogram = self.histogram(
+                    name, help=entry.get("help", ""),
+                    buckets=entry["buckets"],
+                )
+                if list(histogram.buckets) != list(entry["buckets"]):
+                    raise ValueError(
+                        f"histogram {name!r} bucket layouts disagree"
+                    )
+                for i, c in enumerate(entry["counts"]):
+                    histogram._counts[i] += c
+                histogram.count += entry["count"]
+                histogram.sum += entry["sum"]
+                continue
+            for raw_pairs, value in entry["samples"]:
+                labels = {k: v for k, v in raw_pairs}
+                if kind == "counter":
+                    self.counter(name, help=entry.get("help", "")).inc(
+                        value, labels=labels or None
+                    )
+                elif kind == "gauge":
+                    self.gauge(name, help=entry.get("help", "")).set(
+                        value, labels=labels or None
+                    )
+                else:
+                    raise ValueError(f"unknown metric kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Deterministic JSON-ready dump, grouped by metric type."""
+        counters: dict = {}
+        gauges: dict = {}
+        histograms: dict = {}
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if isinstance(metric, Histogram):
+                    histograms[name] = {
+                        "help": metric.help,
+                        "buckets": list(metric.buckets),
+                        "cumulative_counts": metric.cumulative_counts(),
+                        "count": metric.count,
+                        "sum": metric.sum,
+                    }
+                    continue
+                samples = {
+                    _format_labels(pairs) or "": value
+                    for pairs, value in metric.samples()
+                }
+                target = counters if isinstance(metric, Counter) else gauges
+                target[name] = {"help": metric.help, "samples": samples}
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format, version 0.0.4."""
+        lines: List[str] = []
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if metric.help:
+                    lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# TYPE {name} {metric.kind}")
+                if isinstance(metric, Histogram):
+                    cumulative = metric.cumulative_counts()
+                    for bound, count in zip(metric.buckets, cumulative):
+                        lines.append(
+                            f'{name}_bucket{{le="{bound:g}"}} {count}'
+                        )
+                    lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+                    lines.append(f"{name}_sum {metric.sum:g}")
+                    lines.append(f"{name}_count {metric.count}")
+                    continue
+                for pairs, value in metric.samples():
+                    lines.append(f"{name}{_format_labels(pairs)} {value:g}")
+        return "\n".join(lines) + "\n"
+
+
+#: Process-wide registry; None until observability is configured, so the
+#: disabled path costs exactly one module-attribute read per call site.
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The process-wide registry, or None when metrics are disabled."""
+    return _ACTIVE
+
+
+def set_active_registry(registry: Optional[MetricsRegistry]) -> None:
+    global _ACTIVE
+    _ACTIVE = registry

@@ -153,3 +153,15 @@ class PowerSupply:
         if self.cycle == 0:
             return 0.0
         return self.violation_cycles / self.cycle
+
+    def metrics_snapshot(self) -> dict:
+        """Plain-data counters for the observability harvest.
+
+        Read once per run end (never in the cycle loop), so the supply's
+        hot path stays untouched when metrics are enabled.
+        """
+        return {
+            "cycles": self.cycle,
+            "violation_cycles": self.violation_cycles,
+            "violation_events": self.violation_events,
+        }

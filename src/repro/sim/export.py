@@ -85,6 +85,15 @@ def summary_to_dict(summary: TechniqueSummary) -> dict:
         "total_violation_cycles": summary.total_violation_cycles,
         "per_benchmark": [asdict(row) for row in summary.per_benchmark],
     }
+    # Diagnostic attributes live outside the dataclass fields (sweeps
+    # attach them; hand-built summaries may not) -- export them when
+    # present so timings and supervision incidents survive into the JSON.
+    timings = getattr(summary, "timings", None)
+    if timings is not None:
+        data["timings"] = dict(timings)
+    incidents = getattr(summary, "incidents", None)
+    if incidents is not None:
+        data["incidents"] = [asdict(incident) for incident in incidents]
     return data
 
 

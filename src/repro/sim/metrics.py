@@ -65,7 +65,14 @@ class SimulationResult:
                 f"comparing {self.benchmark} against base {base.benchmark}"
             )
         slowdown = base.ipc / self.ipc if self.ipc else float("inf")
-        energy = self.energy_per_instruction / base.energy_per_instruction
+        # A zero-energy base (degenerate power model, zero-cost trace)
+        # mirrors the zero-IPC guard: report inf rather than divide by
+        # zero, so the aggregation layer sees a sentinel, not a crash.
+        energy = (
+            self.energy_per_instruction / base.energy_per_instruction
+            if base.energy_per_instruction
+            else float("inf")
+        )
         return RelativeMetrics(
             benchmark=self.benchmark,
             technique=self.technique,

@@ -40,7 +40,6 @@ import re
 import signal
 import threading
 import time
-import warnings
 from collections import OrderedDict, deque
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -66,6 +65,10 @@ from repro.errors import (
     SweepInterrupted,
     WorkerLostError,
 )
+from repro import obs
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.log import warn_once
 from repro.power.supply import PowerSupply
 from repro.sim.metrics import RelativeMetrics, SimulationResult
 from repro.sim.simulation import Simulation
@@ -329,9 +332,11 @@ def _atomic_write_json(path: str, payload: dict) -> None:
     if directory:
         os.makedirs(directory, exist_ok=True)
     tmp_path = f"{path}.tmp"
+    registry = obs_metrics.active_registry()
     try:
         with open(tmp_path, "w") as handle:
             json.dump(payload, handle, indent=0, sort_keys=True)
+            written_bytes = handle.tell()
             handle.flush()
             _fsync(handle.fileno())
         os.replace(tmp_path, path)
@@ -340,6 +345,16 @@ def _atomic_write_json(path: str, payload: dict) -> None:
             os.remove(tmp_path)
         raise
     _fsync_directory(directory)
+    if registry is not None:
+        registry.counter(
+            "runner_checkpoint_bytes_total",
+            help="bytes durably written through the checkpoint path",
+        ).inc(written_bytes)
+        registry.counter(
+            "runner_checkpoint_fsyncs_total",
+            help="fsync calls issued by durable checkpoint writes"
+                 " (file plus directory)",
+        ).inc(2)
 
 
 def _checkpoint_payload(
@@ -444,11 +459,10 @@ def _salvage_checkpoint(path: str, text: str, reason: str) -> dict:
     cells = _salvage_cells(text)
     meta = _salvage_meta(text)
     quarantined = _quarantine_corrupt(path)
-    warnings.warn(
+    warn_once(
         f"checkpoint {path!r} is corrupt ({reason}); salvaged"
         f" {len(cells)} digest-valid cell(s), quarantined the original to"
         f" {quarantined!r}",
-        RuntimeWarning,
         stacklevel=3,
     )
     return _normalized_checkpoint(
@@ -685,6 +699,31 @@ def _call_with_timeout(fn: Callable[[], object], timeout_s: Optional[float]):
     return _call_with_thread(fn, timeout_s)
 
 
+def _merge_worker_telemetry(telemetry: Optional[dict]) -> None:
+    """Fold a worker's per-cell metrics snapshot into the parent registry.
+
+    Snapshots are additive deltas (the worker registry is reset at cell
+    start), so the merge is commutative: the combined totals do not depend
+    on completion order.
+    """
+    if telemetry is None:
+        return
+    registry = obs_metrics.active_registry()
+    if registry is not None:
+        registry.merge(telemetry)
+
+
+def _maybe_span(tracer, name: str, args: Optional[dict] = None):
+    """A tracer span, or an inert context when tracing is disabled.
+
+    Either way the ``with`` statement binds a mutable args dict, so
+    instrumented code can attach results unconditionally.
+    """
+    if tracer is None:
+        return contextlib.nullcontext(dict(args or {}))
+    return tracer.span(name, cat=obs_trace.CAT_PHASE, args=args)
+
+
 # ----------------------------------------------------------------------
 # Retry backoff and graceful-drain plumbing
 # ----------------------------------------------------------------------
@@ -780,9 +819,17 @@ def _drain_on_signals(drain: "_DrainFlag"):
 _WORKER_STATE: dict = {}
 
 
-def _worker_init_heartbeat(heartbeats) -> None:
-    """Pool initializer: remember the shared heartbeat channel."""
-    _WORKER_STATE["heartbeats"] = heartbeats
+def _worker_init(heartbeats, obs_spec) -> None:
+    """Pool initializer: heartbeat channel plus observability hand-off.
+
+    ``obs_spec`` is the parent's picklable :func:`repro.obs.worker_spec`:
+    the worker opens its own trace shard and metrics registry from it, so
+    spans and counters survive the process boundary without sharing any
+    file handle or lock.
+    """
+    if heartbeats is not None:
+        _WORKER_STATE["heartbeats"] = heartbeats
+    obs.init_worker(obs_spec)
 
 
 def _worker_beat(stage: str, cell_label: str) -> None:
@@ -821,9 +868,21 @@ def _worker_run_cell(
     The worker stamps a heartbeat at cell start, at every retry attempt,
     and at completion; the parent's supervisor treats a ``run``-stage
     stamp older than ``heartbeat_stale_s`` as a hung worker.
+
+    Returns ``(metrics, failure, telemetry)``: the worker's metrics
+    registry is reset at cell start and snapshotted at cell end, so
+    ``telemetry`` is exactly this cell's counter deltas for the parent to
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge` -- additive and
+    order-independent, so the merged totals do not depend on completion
+    order.  (Totals can still differ from a sequential sweep's where a
+    worker-local base cache recomputes a base run another worker already
+    has; see docs/observability.md.)
     """
     cell_label = f"{benchmark}|{'-' if seed is None else seed}"
     _worker_beat("run", cell_label)
+    registry = obs_metrics.active_registry()
+    if registry is not None:
+        registry.reset()
     try:
         if _WORKER_STATE.get("spec") != spec_blob:
             config, supply_transform, max_base_cache_entries = pickle.loads(
@@ -842,7 +901,7 @@ def _worker_run_cell(
             backoff_base_s=backoff_base_s,
             backoff_max_s=backoff_max_s,
         )
-        return runner._run_cell(
+        metrics, failure = runner._run_cell(
             benchmark,
             technique,
             factory,
@@ -850,6 +909,8 @@ def _worker_run_cell(
             base_seed=seed,
             on_attempt=lambda attempt: _worker_beat("run", cell_label),
         )
+        telemetry = registry.snapshot() if registry is not None else None
+        return metrics, failure, telemetry
     finally:
         _worker_beat("idle", cell_label)
 
@@ -898,6 +959,7 @@ class BenchmarkRunner:
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_workers = 0
         self._executor_heartbeat = False
+        self._executor_obs_spec: Optional[dict] = None
         self._manager = None
         self._heartbeats = None
         self._closed = False
@@ -913,6 +975,7 @@ class BenchmarkRunner:
             self._executor = None
             self._executor_workers = 0
             self._executor_heartbeat = False
+            self._executor_obs_spec = None
 
     def close(self) -> None:
         """Release the worker pool and heartbeat channel; idempotent.
@@ -965,26 +1028,29 @@ class BenchmarkRunner:
             raise HarnessError(
                 "BenchmarkRunner is closed: create a new runner to sweep again"
             )
+        obs_spec = obs.worker_spec()
         if self._executor is not None and (
             self._executor_workers != workers
             or self._executor_heartbeat != heartbeat
+            or self._executor_obs_spec != obs_spec
         ):
             self._shutdown_executor()
         if self._executor is None:
+            heartbeats = None
             if heartbeat:
                 if self._manager is None:
                     self._manager = multiprocessing.Manager()
                     self._heartbeats = self._manager.dict()
                 self._heartbeats.clear()
-                self._executor = ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_worker_init_heartbeat,
-                    initargs=(self._heartbeats,),
-                )
-            else:
-                self._executor = ProcessPoolExecutor(max_workers=workers)
+                heartbeats = self._heartbeats
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(heartbeats, obs_spec),
+            )
             self._executor_workers = workers
             self._executor_heartbeat = heartbeat
+            self._executor_obs_spec = obs_spec
         return self._executor
 
     def _stale_worker_pids(self, stale_s: float) -> List[int]:
@@ -1197,18 +1263,22 @@ class BenchmarkRunner:
             self.config.warmup_cycles,
             self._checkpoint_cells or {},
         )
+        tracer = obs_trace.active_tracer()
         try:
-            _write_checkpoint(resilience.checkpoint_path, payload)
+            with _maybe_span(
+                tracer, "checkpoint_io",
+                args={"cells": len(self._checkpoint_cells or {})},
+            ):
+                _write_checkpoint(resilience.checkpoint_path, payload)
         except OSError as error:
             if not self._checkpoint_write_warned:
                 self._checkpoint_write_warned = True
-                warnings.warn(
+                warn_once(
                     f"checkpoint write to"
                     f" {resilience.checkpoint_path!r} failed"
                     f" ({type(error).__name__}: {error}); the sweep"
                     f" continues, but completed cells stay unflushed until"
                     f" a write succeeds",
-                    RuntimeWarning,
                     stacklevel=3,
                 )
 
@@ -1236,38 +1306,82 @@ class BenchmarkRunner:
         last_error: Optional[BaseException] = None
         seed = base_seed
         attempts = resilience.max_retries + 1
-        for attempt in range(attempts):
-            if attempt:
-                origin = (
-                    base_seed
-                    if base_seed is not None
-                    else SPEC2K[benchmark].seed
-                )
-                seed = origin + _RESEED_STRIDE * attempt
-                delay = _backoff_delay_s(
-                    technique, benchmark, base_seed, attempt,
-                    resilience.backoff_base_s, resilience.backoff_max_s,
-                )
-                if delay > 0.0:
-                    time.sleep(delay)
-            if on_attempt is not None:
-                on_attempt(attempt)
-            try:
-                metrics = _call_with_timeout(
-                    lambda: self.compare(benchmark, factory, seed=seed),
-                    resilience.timeout_s,
-                )
-                return metrics, None
-            except Exception as error:
-                last_error = error
-        return None, FailureReport(
-            benchmark=benchmark,
-            technique=technique,
-            seed=seed,
-            attempts=attempts,
-            error_type=type(last_error).__name__,
-            message=str(last_error),
-        )
+        tracer = obs_trace.active_tracer()
+        registry = obs_metrics.active_registry()
+        started = time.perf_counter()
+        with contextlib.ExitStack() as stack:
+            span_args: dict = {}
+            if tracer is not None:
+                span_args = stack.enter_context(tracer.span(
+                    f"cell {benchmark}",
+                    cat=obs_trace.CAT_CELL,
+                    args={
+                        "benchmark": benchmark,
+                        "technique": technique,
+                        "seed": base_seed,
+                    },
+                ))
+            for attempt in range(attempts):
+                if attempt:
+                    origin = (
+                        base_seed
+                        if base_seed is not None
+                        else SPEC2K[benchmark].seed
+                    )
+                    seed = origin + _RESEED_STRIDE * attempt
+                    delay = _backoff_delay_s(
+                        technique, benchmark, base_seed, attempt,
+                        resilience.backoff_base_s, resilience.backoff_max_s,
+                    )
+                    if registry is not None:
+                        registry.counter(
+                            "runner_retries_total",
+                            help="sweep-cell retry attempts (beyond the"
+                                 " first attempt)",
+                        ).inc()
+                    if tracer is not None:
+                        tracer.instant("retry", args={
+                            "benchmark": benchmark,
+                            "technique": technique,
+                            "seed": seed,
+                            "attempt": attempt,
+                            "error": f"{type(last_error).__name__}:"
+                                     f" {last_error}",
+                        })
+                    if delay > 0.0:
+                        time.sleep(delay)
+                if on_attempt is not None:
+                    on_attempt(attempt)
+                try:
+                    metrics = _call_with_timeout(
+                        lambda: self.compare(benchmark, factory, seed=seed),
+                        resilience.timeout_s,
+                    )
+                    span_args["attempts"] = attempt + 1
+                    span_args["outcome"] = "completed"
+                    self._observe_cell_latency(registry, started)
+                    return metrics, None
+                except Exception as error:
+                    last_error = error
+            span_args["attempts"] = attempts
+            span_args["outcome"] = f"failed: {type(last_error).__name__}"
+            self._observe_cell_latency(registry, started)
+            return None, FailureReport(
+                benchmark=benchmark,
+                technique=technique,
+                seed=seed,
+                attempts=attempts,
+                error_type=type(last_error).__name__,
+                message=str(last_error),
+            )
+
+    @staticmethod
+    def _observe_cell_latency(registry, started: float) -> None:
+        if registry is not None:
+            registry.histogram(
+                "runner_cell_seconds",
+                help="wall-clock seconds per sweep cell, retries included",
+            ).observe(time.perf_counter() - started)
 
     def _effective_workers(
         self,
@@ -1291,10 +1405,9 @@ class BenchmarkRunner:
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
         except Exception as error:
-            warnings.warn(
+            warn_once(
                 f"parallel sweep disabled: cell spec is not picklable"
                 f" ({type(error).__name__}: {error}); running sequentially",
-                RuntimeWarning,
                 stacklevel=4,
             )
             return 1
@@ -1346,86 +1459,177 @@ class BenchmarkRunner:
                 " create a new runner to sweep again"
             )
         t_total = time.perf_counter()
-        resilience = self._resolve_resilience(resilience)
-        self._checkpoint_write_warned = False
-        names = list(benchmarks) if benchmarks is not None else sorted(SPEC2K)
-        seed_list: List[Optional[int]] = (
-            list(seeds) if seeds is not None else [None]
+        tracer = obs_trace.active_tracer()
+        registry = obs_metrics.active_registry()
+        with contextlib.ExitStack() as sweep_stack:
+            sweep_args = sweep_stack.enter_context(_maybe_span(tracer, "sweep"))
+            with _maybe_span(tracer, "setup"):
+                resilience = self._resolve_resilience(resilience)
+                self._checkpoint_write_warned = False
+                names = (
+                    list(benchmarks) if benchmarks is not None
+                    else sorted(SPEC2K)
+                )
+                seed_list: List[Optional[int]] = (
+                    list(seeds) if seeds is not None else [None]
+                )
+                if not seed_list:
+                    raise ConfigurationError(
+                        "seeds must be non-empty when given"
+                    )
+                # One probe controller names the technique (cells are keyed
+                # by it).
+                technique = factory(
+                    self.config.supply, self.config.processor
+                ).name
+                cells = self._load_cells(resilience)
+                ordinal = self._sweep_count
+                self._sweep_count += 1
+                grid = [(name, seed) for name in names for seed in seed_list]
+
+                results: Dict[Tuple[str, Optional[int]], RelativeMetrics] = {}
+                failure_map: Dict[
+                    Tuple[str, Optional[int]], FailureReport
+                ] = {}
+                pending: List[Tuple[str, Optional[int]]] = []
+                for name, seed in grid:
+                    key = _cell_key(ordinal, name, technique, seed)
+                    if key in cells:
+                        results[(name, seed)] = _metrics_from_dict(cells[key])
+                    else:
+                        pending.append((name, seed))
+                workers = self._effective_workers(
+                    resilience, factory, len(pending)
+                )
+            sweep_args.update({
+                "technique": technique,
+                "workers": workers,
+                "cells_total": len(grid),
+                "cells_cached": len(grid) - len(pending),
+            })
+            timings = {
+                "workers": float(workers),
+                "cells_total": float(len(grid)),
+                "cells_cached": float(len(grid) - len(pending)),
+                "setup": time.perf_counter() - t_total,
+                "checkpoint_io": 0.0,
+            }
+
+            incidents: List[FailureReport] = []
+            drain = _DrainFlag()
+            t_execute = time.perf_counter()
+            with _maybe_span(tracer, "execute"), _drain_on_signals(drain):
+                if workers > 1:
+                    self._execute_parallel(
+                        pending, ordinal, technique, factory, resilience,
+                        workers, progress, cells, results, failure_map,
+                        timings, grid, drain, incidents,
+                    )
+                else:
+                    self._execute_sequential(
+                        grid, ordinal, technique, factory, resilience,
+                        progress, cells, results, failure_map, timings,
+                        drain,
+                    )
+            timings["execute"] = time.perf_counter() - t_execute
+
+            t_aggregate = time.perf_counter()
+            with _maybe_span(tracer, "aggregate"):
+                rows: List[RelativeMetrics] = []
+                failures: List[FailureReport] = []
+                violation_cycles = 0
+                for cell in grid:
+                    metrics = results.get(cell)
+                    if metrics is not None:
+                        rows.append(metrics)
+                        violation_cycles += round(
+                            metrics.violation_fraction * self.config.n_cycles
+                        )
+                    elif cell in failure_map:
+                        failures.append(failure_map[cell])
+                if not rows:
+                    detail = "; ".join(
+                        f"{f.benchmark}: {f.error_type}: {f.message}"
+                        for f in failures
+                    )
+                    raise FaultError(
+                        f"every cell of the {technique!r} sweep failed"
+                        f" ({detail})"
+                    )
+                summary = summarize(
+                    rows, violation_cycles, failures=tuple(failures)
+                )
+            timings["aggregate"] = time.perf_counter() - t_aggregate
+            timings["total"] = time.perf_counter() - t_total
+            # Diagnostic attributes, deliberately outside the dataclass
+            # fields (see TechniqueSummary): summaries stay comparable
+            # across backends and across supervision incidents.
+            object.__setattr__(summary, "timings", timings)
+            object.__setattr__(summary, "incidents", tuple(incidents))
+            if registry is not None:
+                self._record_sweep_metrics(
+                    registry, technique, workers, grid, pending, results,
+                    failure_map, incidents,
+                )
+            self._write_summary_sidecar(resilience, summary)
+            return summary
+
+    @staticmethod
+    def _record_sweep_metrics(
+        registry,
+        technique: str,
+        workers: int,
+        grid: Sequence[Tuple[str, Optional[int]]],
+        pending: Sequence[Tuple[str, Optional[int]]],
+        results: Dict[Tuple[str, Optional[int]], RelativeMetrics],
+        failure_map: Dict[Tuple[str, Optional[int]], FailureReport],
+        incidents: Sequence[FailureReport],
+    ) -> None:
+        """Sweep-level counters, recorded once at aggregation time."""
+        labels = {"technique": technique}
+        registry.counter(
+            "runner_sweeps_total", help="completed sweeps"
+        ).inc(labels=labels)
+        registry.gauge(
+            "runner_workers", help="process-pool size of the last sweep"
+        ).set(workers)
+        cached = len(grid) - len(pending)
+        by_status = registry.counter(
+            "runner_cells_total", help="sweep cells by final status"
         )
-        if not seed_list:
-            raise ConfigurationError("seeds must be non-empty when given")
-        # One probe controller names the technique (cells are keyed by it).
-        technique = factory(self.config.supply, self.config.processor).name
-        cells = self._load_cells(resilience)
-        ordinal = self._sweep_count
-        self._sweep_count += 1
-        grid = [(name, seed) for name in names for seed in seed_list]
+        by_status.inc(cached, labels={"status": "cached"})
+        by_status.inc(len(results) - cached, labels={"status": "completed"})
+        parked = sum(1 for f in failure_map.values() if f.skipped)
+        by_status.inc(
+            len(failure_map) - parked, labels={"status": "failed"}
+        )
+        by_status.inc(parked, labels={"status": "parked"})
+        registry.counter(
+            "runner_incidents_total",
+            help="worker-supervision incidents (lost or hung workers)",
+        ).inc(len(incidents))
 
-        results: Dict[Tuple[str, Optional[int]], RelativeMetrics] = {}
-        failure_map: Dict[Tuple[str, Optional[int]], FailureReport] = {}
-        pending: List[Tuple[str, Optional[int]]] = []
-        for name, seed in grid:
-            key = _cell_key(ordinal, name, technique, seed)
-            if key in cells:
-                results[(name, seed)] = _metrics_from_dict(cells[key])
-            else:
-                pending.append((name, seed))
-        workers = self._effective_workers(resilience, factory, len(pending))
-        timings = {
-            "workers": float(workers),
-            "cells_total": float(len(grid)),
-            "cells_cached": float(len(grid) - len(pending)),
-            "setup": time.perf_counter() - t_total,
-            "checkpoint_io": 0.0,
-        }
+    def _write_summary_sidecar(
+        self,
+        resilience: ResilienceConfig,
+        summary: "TechniqueSummary",
+    ) -> None:
+        """Persist the summary (timings and incidents included) next to the
+        checkpoint as ``<checkpoint>.summary.json``.
 
-        incidents: List[FailureReport] = []
-        drain = _DrainFlag()
-        t_execute = time.perf_counter()
-        with _drain_on_signals(drain):
-            if workers > 1:
-                self._execute_parallel(
-                    pending, ordinal, technique, factory, resilience, workers,
-                    progress, cells, results, failure_map, timings, grid,
-                    drain, incidents,
-                )
-            else:
-                self._execute_sequential(
-                    grid, ordinal, technique, factory, resilience,
-                    progress, cells, results, failure_map, timings,
-                    drain,
-                )
-        timings["execute"] = time.perf_counter() - t_execute
+        Best-effort durability, like the checkpoint itself: an unwritable
+        sidecar must not fail a sweep that already has its results.
+        """
+        if resilience.checkpoint_path is None:
+            return
+        # Function-level import: repro.sim.export imports this module.
+        from repro.sim.export import summary_to_dict
 
-        t_aggregate = time.perf_counter()
-        rows: List[RelativeMetrics] = []
-        failures: List[FailureReport] = []
-        violation_cycles = 0
-        for cell in grid:
-            metrics = results.get(cell)
-            if metrics is not None:
-                rows.append(metrics)
-                violation_cycles += round(
-                    metrics.violation_fraction * self.config.n_cycles
-                )
-            elif cell in failure_map:
-                failures.append(failure_map[cell])
-        if not rows:
-            detail = "; ".join(
-                f"{f.benchmark}: {f.error_type}: {f.message}" for f in failures
+        with contextlib.suppress(OSError):
+            _atomic_write_json(
+                f"{resilience.checkpoint_path}.summary.json",
+                summary_to_dict(summary),
             )
-            raise FaultError(
-                f"every cell of the {technique!r} sweep failed ({detail})"
-            )
-        summary = summarize(rows, violation_cycles, failures=tuple(failures))
-        timings["aggregate"] = time.perf_counter() - t_aggregate
-        timings["total"] = time.perf_counter() - t_total
-        # Diagnostic attributes, deliberately outside the dataclass fields
-        # (see TechniqueSummary): summaries stay comparable across backends
-        # and across supervision incidents.
-        object.__setattr__(summary, "timings", timings)
-        object.__setattr__(summary, "incidents", tuple(incidents))
-        return summary
 
     def _shutdown_summary(
         self,
@@ -1462,6 +1666,17 @@ class BenchmarkRunner:
         pending_cells: Sequence[Tuple[str, Optional[int]]],
     ) -> "SweepInterrupted":
         """Final checkpoint flush + shutdown summary; returns the exception."""
+        tracer = obs_trace.active_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "drain",
+                cat=obs_trace.CAT_SUPERVISION,
+                args={
+                    "signal": drain.signal_name,
+                    "completed": completed,
+                    "pending": len(pending_cells),
+                },
+            )
         self._save_cells(resilience)
         self._shutdown_summary(
             resilience, technique, drain, completed, pending_cells
@@ -1498,6 +1713,7 @@ class BenchmarkRunner:
         rule depends only on grid order, so the parallel backend (which
         dispatches the same probes first) parks the identical set.
         """
+        tracer = obs_trace.active_tracer()
         open_benchmarks: set = set()
         probed: set = set()
         for name, seed in grid:
@@ -1526,6 +1742,12 @@ class BenchmarkRunner:
                 failure_map[cell] = failure
                 if is_probe and resilience.circuit_breaker:
                     open_benchmarks.add(name)
+                    if tracer is not None:
+                        tracer.instant(
+                            "circuit_breaker_trip",
+                            cat=obs_trace.CAT_SUPERVISION,
+                            args={"benchmark": name, "technique": technique},
+                        )
                 continue
             results[cell] = metrics
             cells[_cell_key(ordinal, name, technique, seed)] = asdict(metrics)
@@ -1574,6 +1796,8 @@ class BenchmarkRunner:
         running, flushes the checkpoint and raises
         :class:`SweepInterrupted`.
         """
+        tracer = obs_trace.active_tracer()
+        registry = obs_metrics.active_registry()
         if progress is not None:
             for cell in grid:
                 if cell in results:
@@ -1639,6 +1863,12 @@ class BenchmarkRunner:
             name = probes.pop(cell, None)
             if name is None:
                 return
+            if run_failed and tracer is not None:
+                tracer.instant(
+                    "circuit_breaker_trip",
+                    cat=obs_trace.CAT_SUPERVISION,
+                    args={"benchmark": name, "technique": technique},
+                )
             for follower in held.pop(name, []):
                 if run_failed:
                     failure_map[follower] = _circuit_open_report(
@@ -1692,6 +1922,21 @@ class BenchmarkRunner:
                     )
                 else:
                     queue.appendleft(cell)
+            if registry is not None:
+                registry.counter(
+                    "runner_worker_restarts_total",
+                    help="pool rebuilds after a lost or hung worker",
+                ).inc()
+            if tracer is not None:
+                tracer.instant(
+                    "pool_rebuild",
+                    cat=obs_trace.CAT_SUPERVISION,
+                    args={
+                        "lost_cells": len(lost),
+                        "detail": detail,
+                        "rebuilds_left": rebuilds_left - 1,
+                    },
+                )
             rebuilds_left -= 1
             self._shutdown_executor()
             pool_broken = False
@@ -1716,9 +1961,10 @@ class BenchmarkRunner:
                 for future in done:
                     cell = inflight.pop(future)
                     try:
-                        metrics, failure = future.result()
+                        metrics, failure, telemetry = future.result()
                     except BaseException:
                         continue  # lost to the drain; --resume recomputes
+                    _merge_worker_telemetry(telemetry)
                     if failure is None:
                         name, seed = cell
                         results[cell] = metrics
@@ -1777,13 +2023,19 @@ class BenchmarkRunner:
                         for pid in stale:
                             # Killing the worker breaks the pool; the
                             # normal lost-cell path rebuilds and requeues.
+                            if tracer is not None:
+                                tracer.instant(
+                                    "heartbeat_stale_kill",
+                                    cat=obs_trace.CAT_SUPERVISION,
+                                    args={"pid": pid},
+                                )
                             with contextlib.suppress(OSError):
                                 os.kill(pid, signal.SIGKILL)
                     continue
                 for future in done:
                     cell = inflight.pop(future)
                     try:
-                        metrics, failure = future.result()
+                        metrics, failure, telemetry = future.result()
                     except BrokenProcessPool as error:
                         # Hold the lost cell until the broken pool finishes
                         # failing its remaining futures, then rebuild once.
@@ -1794,6 +2046,7 @@ class BenchmarkRunner:
                             f" ({type(error).__name__}: {error})"
                         )
                         continue
+                    _merge_worker_telemetry(telemetry)
                     record_result(cell, metrics, failure)
                 if pool_broken and not inflight:
                     handle_lost_cells()

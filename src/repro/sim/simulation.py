@@ -10,10 +10,13 @@ actuation delays.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Optional
 
 from repro.core.controller import NoiseController, NullController
 from repro.errors import SimulationError
+from repro.obs import metrics
+from repro.obs import trace as obs_trace
 from repro.power.supply import PowerSupply
 from repro.sim.metrics import SimulationResult
 from repro.uarch.processor import Processor
@@ -68,31 +71,45 @@ class Simulation:
             supply.config.vdd_volts, supply.config.cycle_seconds
         )
 
-        snapshot = self._snapshot()
-        for cycle in range(self.warmup_cycles + n_cycles):
-            if cycle == self.warmup_cycles:
-                # Steady state starts here: warmup transients must neither
-                # pin first_violation_cycle nor merge a boundary-spanning
-                # violation into a warmup-started event.
-                reset_tracking = getattr(
-                    supply, "reset_violation_tracking", None
-                )
-                if reset_tracking is not None:
-                    reset_tracking()
-                snapshot = self._snapshot()
-            directives = controller.directives(cycle)
-            stats = processor.step(directives)
-            voltage = supply.step(stats.current_amps)
-            controller.observe(cycle, stats.current_amps, voltage, stats)
-            if record and cycle >= self.warmup_cycles:
-                self.currents.append(stats.current_amps)
-                self.voltages.append(voltage)
+        tracer = obs_trace.active_tracer()
+        with contextlib.ExitStack() as stack:
+            if tracer is not None:
+                stack.enter_context(tracer.span(
+                    f"run {self.benchmark}",
+                    cat=obs_trace.CAT_SIM,
+                    args={
+                        "benchmark": self.benchmark,
+                        "technique": controller.name,
+                        "n_cycles": n_cycles,
+                        "warmup_cycles": self.warmup_cycles,
+                    },
+                ))
+            snapshot = self._snapshot()
+            for cycle in range(self.warmup_cycles + n_cycles):
+                if cycle == self.warmup_cycles:
+                    # Steady state starts here: warmup transients must
+                    # neither pin first_violation_cycle nor merge a
+                    # boundary-spanning violation into a warmup-started
+                    # event.
+                    reset_tracking = getattr(
+                        supply, "reset_violation_tracking", None
+                    )
+                    if reset_tracking is not None:
+                        reset_tracking()
+                    snapshot = self._snapshot()
+                directives = controller.directives(cycle)
+                stats = processor.step(directives)
+                voltage = supply.step(stats.current_amps)
+                controller.observe(cycle, stats.current_amps, voltage, stats)
+                if record and cycle >= self.warmup_cycles:
+                    self.currents.append(stats.current_amps)
+                    self.voltages.append(voltage)
 
         end = self._snapshot()
         # The technique's own hardware energy (Section 4.1 charges tuning's
         # detection hardware this way) counts against it.
         overhead = controller.overhead_energy_joules(n_cycles)
-        return SimulationResult(
+        result = SimulationResult(
             benchmark=self.benchmark,
             technique=controller.name,
             cycles=n_cycles,
@@ -106,6 +123,67 @@ class Simulation:
             currents=self.currents,
             voltages=self.voltages,
         )
+        registry = metrics.active_registry()
+        if registry is not None:
+            self._harvest_metrics(registry, result)
+        return result
+
+    def _harvest_metrics(self, registry, result) -> None:
+        """Fold this run's counters into the active metrics registry.
+
+        Called once per run (never per cycle): everything here is read
+        from counters the simulation, detector and supply already keep,
+        so enabling metrics does not perturb the hot loop.
+        """
+        labels = {"technique": result.technique}
+        registry.counter(
+            "sim_runs_total", help="completed simulation runs"
+        ).inc(labels=labels)
+        registry.counter(
+            "sim_cycles_total", help="measured (post-warmup) cycles simulated"
+        ).inc(result.cycles)
+        registry.counter(
+            "sim_instructions_total", help="instructions committed"
+        ).inc(result.instructions)
+        registry.counter(
+            "sim_violation_cycles_total",
+            help="cycles beyond the noise margin",
+        ).inc(result.violation_cycles)
+        registry.counter(
+            "sim_violation_events_total",
+            help="distinct noise-margin violation events",
+        ).inc(result.violation_events)
+        registry.counter(
+            "sim_first_level_cycles_total",
+            help="cycles under the first-level (gentle) response",
+        ).inc(result.first_level_cycles)
+        registry.counter(
+            "sim_second_level_cycles_total",
+            help="cycles under the second-level (stall) response",
+        ).inc(result.second_level_cycles)
+        detector = getattr(self.controller, "detector", None)
+        if detector is not None:
+            events = registry.counter(
+                "sim_resonant_events_total",
+                help="resonant events detected, by transition polarity",
+            )
+            for polarity, count in detector.events_by_polarity.items():
+                events.inc(count, labels={"polarity": polarity.name.lower()})
+            registry.counter(
+                "sim_detector_comparisons_total",
+                help="quarter-period adder comparisons performed",
+            ).inc(detector.comparisons)
+        for attribute, name, help_text in (
+            ("first_level_engagements", "sim_first_level_engagements_total",
+             "first-level response activations"),
+            ("second_level_engagements", "sim_second_level_engagements_total",
+             "second-level response activations"),
+            ("watchdog_releases", "sim_watchdog_releases_total",
+             "second-level holds force-released by the watchdog"),
+        ):
+            value = getattr(self.controller, attribute, None)
+            if value is not None:
+                registry.counter(name, help=help_text).inc(value)
 
     def _snapshot(self) -> dict:
         fractions = self.controller.response_cycle_fractions

@@ -1,0 +1,115 @@
+"""Edge-case coverage for workload diagnostics and relative metrics.
+
+Pins ``dominant_period_cycles`` (short-input error path, recovery of
+known periods from synthetic waveforms, noise robustness) and the
+``RelativeMetrics`` guards: a zero-IPC technique run and a zero-energy
+base run must yield ``inf`` sentinels, never a ZeroDivisionError.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import SimulationResult
+from repro.uarch.diagnostics import dominant_period_cycles
+
+
+def result(
+    benchmark="swim",
+    technique="base",
+    cycles=1000,
+    instructions=2000,
+    energy_joules=1.0,
+):
+    return SimulationResult(
+        benchmark=benchmark,
+        technique=technique,
+        cycles=cycles,
+        instructions=instructions,
+        energy_joules=energy_joules,
+        phantom_energy_joules=0.0,
+        violation_cycles=0,
+        violation_events=0,
+    )
+
+
+class TestDominantPeriod:
+    @pytest.mark.parametrize("length", [0, 1, 15])
+    def test_short_input_raises(self, length):
+        with pytest.raises(SimulationError, match="at least 16 samples"):
+            dominant_period_cycles(np.zeros(length))
+
+    def test_minimum_length_accepted(self):
+        cycles = np.arange(16)
+        wave = np.sin(2 * math.pi * cycles / 8.0)
+        assert dominant_period_cycles(wave) == pytest.approx(8.0, rel=0.25)
+
+    @pytest.mark.parametrize("period", [10.0, 25.0, 50.0, 128.0])
+    def test_recovers_known_period(self, period):
+        cycles = np.arange(4096)
+        wave = np.sin(2 * math.pi * cycles / period)
+        assert dominant_period_cycles(wave) == pytest.approx(
+            period, rel=0.05
+        )
+
+    def test_dc_offset_ignored(self):
+        cycles = np.arange(2048)
+        wave = 40.0 + np.sin(2 * math.pi * cycles / 50.0)
+        assert dominant_period_cycles(wave) == pytest.approx(50.0, rel=0.05)
+
+    def test_strongest_component_wins(self):
+        cycles = np.arange(4096)
+        wave = (
+            3.0 * np.sin(2 * math.pi * cycles / 64.0)
+            + 0.5 * np.sin(2 * math.pi * cycles / 10.0)
+        )
+        assert dominant_period_cycles(wave) == pytest.approx(64.0, rel=0.05)
+
+    def test_noise_robustness(self):
+        rng = np.random.default_rng(42)
+        cycles = np.arange(4096)
+        wave = np.sin(2 * math.pi * cycles / 48.0) + 0.3 * rng.standard_normal(
+            len(cycles)
+        )
+        assert dominant_period_cycles(wave) == pytest.approx(48.0, rel=0.1)
+
+    def test_accepts_plain_lists(self):
+        wave = [math.sin(2 * math.pi * n / 20.0) for n in range(512)]
+        assert dominant_period_cycles(wave) == pytest.approx(20.0, rel=0.05)
+
+
+class TestRelativeMetricsGuards:
+    def test_benchmark_mismatch_rejected(self):
+        with pytest.raises(SimulationError, match="comparing"):
+            result(benchmark="swim").relative_to(result(benchmark="gzip"))
+
+    def test_nominal_ratios(self):
+        technique = result(
+            technique="tuning", instructions=1000, energy_joules=1.5
+        )
+        metrics = technique.relative_to(result())
+        assert metrics.slowdown == pytest.approx(2.0)
+        assert metrics.energy == pytest.approx(3.0)
+        assert metrics.energy_delay == pytest.approx(6.0)
+
+    def test_zero_ipc_yields_inf_slowdown(self):
+        stalled = result(technique="tuning", cycles=0)
+        metrics = stalled.relative_to(result())
+        assert math.isinf(metrics.slowdown)
+        assert math.isinf(metrics.energy_delay)
+
+    def test_zero_energy_base_yields_inf_energy(self):
+        technique = result(technique="tuning")
+        metrics = technique.relative_to(result(energy_joules=0.0))
+        assert math.isinf(metrics.energy)
+        assert math.isinf(metrics.energy_delay)
+        assert metrics.slowdown == pytest.approx(1.0)
+
+    def test_zero_instruction_run_still_raises(self):
+        # No instructions at all cannot be normalized; the explicit
+        # SimulationError (not a ZeroDivisionError) is the contract.
+        empty = result(technique="tuning", instructions=0)
+        with pytest.raises(SimulationError, match="no instructions"):
+            empty.relative_to(result())

@@ -1,0 +1,158 @@
+"""Summarize a sweep trace written by ``--trace-out``.
+
+Reads a merged Chrome trace-event JSON (the file Perfetto opens) and
+prints the phase breakdown, the slowest cells, retry hotspots and the
+supervision incidents, so the common questions -- "where did the time
+go?", "which cell dragged?", "did anything get killed?" -- have a
+terminal answer before anyone reaches for the trace viewer.
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_report.py trace.json
+    PYTHONPATH=src python tools/trace_report.py trace.json --top 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from collections import Counter
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs.trace import load_trace_events  # noqa: E402  (path bootstrap)
+
+#: Span names emitted by the sweep's phase instrumentation, in report order.
+PHASES = ("setup", "execute", "checkpoint_io", "aggregate")
+
+
+def _spans(events, name=None, cat=None):
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        if name is not None and event.get("name") != name:
+            continue
+        if cat is not None and event.get("cat") != cat:
+            continue
+        yield event
+
+
+def _instants(events, name=None):
+    for event in events:
+        if event.get("ph") != "i":
+            continue
+        if name is not None and event.get("name") != name:
+            continue
+        yield event
+
+
+def phase_breakdown(events):
+    """Total wall-clock per sweep phase, in milliseconds."""
+    totals = {}
+    for phase in PHASES:
+        duration_us = sum(e.get("dur", 0.0) for e in _spans(events, phase))
+        count = sum(1 for _ in _spans(events, phase))
+        if count:
+            totals[phase] = (duration_us / 1000.0, count)
+    return totals
+
+
+def slowest_cells(events, top):
+    """The ``top`` longest cell spans as (ms, name, args) tuples."""
+    cells = [e for e in _spans(events, cat="cell")]
+    cells.sort(key=lambda e: e.get("dur", 0.0), reverse=True)
+    return [
+        (e.get("dur", 0.0) / 1000.0, e.get("name", "?"), e.get("args", {}))
+        for e in cells[:top]
+    ]
+
+
+def retry_hotspots(events):
+    """Retry counts per (benchmark, technique), most-retried first."""
+    counts = Counter()
+    for event in _instants(events, "retry"):
+        args = event.get("args", {})
+        counts[(args.get("benchmark", "?"), args.get("technique", "?"))] += 1
+    return counts.most_common()
+
+
+def supervision_events(events):
+    """Counts of each supervision instant (kills, rebuilds, trips, drains)."""
+    counts = Counter()
+    for event in _instants(events):
+        if event.get("cat") == "supervision":
+            counts[event.get("name", "?")] += 1
+    return dict(sorted(counts.items()))
+
+
+def worker_pids(events):
+    """Distinct PIDs that emitted events (parent + pool workers)."""
+    return sorted({e["pid"] for e in events if "pid" in e})
+
+
+def render_report(events, top=10):
+    lines = []
+    lines.append(f"events     : {len(events)}")
+    lines.append(f"processes  : {len(worker_pids(events))}"
+                 f" (pids {', '.join(map(str, worker_pids(events)))})")
+    breakdown = phase_breakdown(events)
+    if breakdown:
+        lines.append("")
+        lines.append("phase breakdown")
+        for phase, (ms, count) in breakdown.items():
+            lines.append(f"  {phase:14s} {ms:10.2f} ms  ({count} span(s))")
+    cells = slowest_cells(events, top)
+    if cells:
+        lines.append("")
+        lines.append(f"slowest cells (top {len(cells)})")
+        for ms, name, args in cells:
+            seed = args.get("seed")
+            suffix = f" seed={seed}" if seed is not None else ""
+            lines.append(
+                f"  {ms:10.2f} ms  {name}"
+                f"  [{args.get('technique', '?')}{suffix}"
+                f" attempts={args.get('attempts', '?')}"
+                f" outcome={args.get('outcome', '?')}]"
+            )
+    retries = retry_hotspots(events)
+    if retries:
+        lines.append("")
+        lines.append("retry hotspots")
+        for (benchmark, technique), count in retries:
+            lines.append(f"  {count:4d}  {benchmark} / {technique}")
+    supervision = supervision_events(events)
+    if supervision:
+        lines.append("")
+        lines.append("supervision events")
+        for name, count in supervision.items():
+            lines.append(f"  {count:4d}  {name}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarize a --trace-out sweep trace."
+    )
+    parser.add_argument("trace", help="merged Chrome trace JSON")
+    parser.add_argument(
+        "--top", type=int, default=10, help="slowest cells to list"
+    )
+    args = parser.parse_args(argv)
+    try:
+        events = load_trace_events(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.trace!r}: {error}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"trace {args.trace!r} holds no events", file=sys.stderr)
+        return 1
+    try:
+        print(render_report(events, top=args.top))
+    except BrokenPipeError:  # |head closed the pipe; not an error
+        sys.stderr.close()  # suppress the shutdown-time EPIPE warning
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
