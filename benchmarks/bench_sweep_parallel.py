@@ -1,16 +1,23 @@
-"""Bench: parallel sweep backend vs sequential on a multi-technique grid.
+"""Bench: sweep backends (sequential / pool / dist) on a multi-technique grid.
 
-Runs the same 4-benchmark x 3-technique x 4-seed grid with ``workers=1``
-and ``workers=4``, records both wall clocks plus each sweep's per-phase
-``timings`` breakdown, and asserts the aggregates are byte-identical.
-The speedup assertion only fires on machines with at least 4 cores --
-on smaller hosts the parallel run still must match bit-for-bit.
+Runs the same 4-benchmark x 3-technique x 4-seed grid with ``workers=1``,
+``workers=4`` and the distributed backend, records each backend's wall
+clock plus the sweeps' per-phase ``timings`` breakdown, and asserts the
+aggregates are byte-identical across all three.  The speedup assertion
+only fires on machines with at least 4 cores -- on smaller hosts the
+fan-out runs still must match bit-for-bit.
+
+The measured figures are also written to a ``BENCH_sweep.json``
+perf-trajectory artifact (per-backend wall time and cells/s; path
+overridable via ``BENCH_SWEEP_OUT``) which CI uploads and gates against
+the committed baseline with ``tools/bench_gate.py``.
 """
 
 import dataclasses
 import functools
 import json
 import os
+import platform
 import time
 
 from repro.cli import _build_convolution, _build_damping, _build_tuning
@@ -37,7 +44,7 @@ def _fingerprints(summaries):
     }
 
 
-def _run_grid(workers):
+def _run_grid(workers, backend="auto"):
     """Sweep every technique over the grid; return summaries + wall clock."""
     config = SweepConfig(n_cycles=GRID_CYCLES)
     summaries = {}
@@ -48,21 +55,55 @@ def _run_grid(workers):
                 factory,
                 benchmarks=GRID_BENCHMARKS,
                 seeds=GRID_SEEDS,
-                resilience=ResilienceConfig(workers=workers),
+                resilience=ResilienceConfig(workers=workers, backend=backend),
             )
     return summaries, time.perf_counter() - start
+
+
+def _write_artifact(cells, walls):
+    """Persist the perf-trajectory artifact gated by tools/bench_gate.py."""
+    out = os.environ.get("BENCH_SWEEP_OUT", "BENCH_sweep.json")
+    payload = {
+        "schema": 1,
+        "grid": {
+            "benchmarks": list(GRID_BENCHMARKS),
+            "seeds": [s if s is not None else "default" for s in GRID_SEEDS],
+            "techniques": [name for name, _ in TECHNIQUES],
+            "cells": cells,
+            "n_cycles": GRID_CYCLES,
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "backends": {
+            label: {
+                "wall_s": round(wall, 3),
+                "cells_per_s": round(cells / wall, 3),
+            }
+            for label, wall in walls.items()
+        },
+    }
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"perf artifact written to {out}")
 
 
 def test_bench_sweep_parallel(benchmark):
     sequential, seq_wall = _run_grid(1)
     parallel, par_wall = run_once(benchmark, _run_grid, 4)
+    dist, dist_wall = _run_grid(4, backend="dist")
 
     cells = len(GRID_BENCHMARKS) * len(GRID_SEEDS) * len(TECHNIQUES)
     print()
     print(f"grid: {cells} cells at {GRID_CYCLES} cycles")
-    print(f"sequential wall clock : {seq_wall:8.2f} s")
-    print(f"parallel   wall clock : {par_wall:8.2f} s"
+    print(f"sequential  wall clock : {seq_wall:8.2f} s")
+    print(f"pool        wall clock : {par_wall:8.2f} s"
           f"  (x{seq_wall / par_wall:.2f})")
+    print(f"distributed wall clock : {dist_wall:8.2f} s"
+          f"  (x{seq_wall / dist_wall:.2f})")
     for name, summary in parallel.items():
         timings = summary.timings
         print(f"  {name:12s} workers={timings['workers']:.0f}"
@@ -71,13 +112,24 @@ def test_bench_sweep_parallel(benchmark):
               f" aggregate={timings['aggregate']:.3f}s"
               f" total={timings['total']:.2f}s")
 
-    # Parallel dispatch must not change a single byte of the results.
+    _write_artifact(cells, {
+        "sequential": seq_wall, "pool": par_wall, "dist": dist_wall,
+    })
+
+    # Fan-out dispatch must not change a single byte of the results.
     assert _fingerprints(parallel) == _fingerprints(sequential)
+    assert _fingerprints(dist) == _fingerprints(sequential)
     for name, summary in parallel.items():
         assert len(summary.per_benchmark) == len(GRID_BENCHMARKS) * len(GRID_SEEDS)
         assert not summary.failures
+    for name, summary in dist.items():
+        assert not summary.failures
+        assert getattr(summary, "incidents", ()) == ()
 
     if (os.cpu_count() or 1) >= 4:
         assert seq_wall / par_wall >= 2.0, (
             f"workers=4 speedup {seq_wall / par_wall:.2f}x below 2x"
+        )
+        assert seq_wall / dist_wall >= 1.5, (
+            f"dist speedup {seq_wall / dist_wall:.2f}x below 1.5x"
         )

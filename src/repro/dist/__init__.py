@@ -1,0 +1,18 @@
+"""Distributed sweep execution: scheduler, workers, wire protocol.
+
+The subsystem splits a sweep across independent *worker subprocesses*
+speaking a length-prefixed JSON protocol over a Unix or TCP socket --
+the shape of a multi-host deployment, exercised on one host.  The
+scheduler (:mod:`repro.dist.scheduler`) owns a lease-based work-stealing
+queue with deterministic requeue of expired leases, per-worker liveness
+accounting with quarantine, and bounded in-flight admission; the backend
+(:mod:`repro.dist.backend`) plugs it into
+:class:`~repro.sim.backends.SweepBackend` so ``--backend dist`` is
+byte-identical to (and checkpoint-interchangeable with) the sequential
+and process-pool backends.  See ``docs/robustness.md`` ("Distributed
+execution, leases, and quarantine").
+"""
+
+from repro.dist.scheduler import Lease, LeaseQueue, WorkerState
+
+__all__ = ["Lease", "LeaseQueue", "WorkerState"]

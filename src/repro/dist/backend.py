@@ -1,0 +1,677 @@
+"""The ``dist`` sweep backend: lease cells to worker subprocesses.
+
+:class:`DistributedBackend` plugs :mod:`repro.dist.scheduler` into the
+:class:`~repro.sim.backends.SweepBackend` contract.  The scheduler owns
+a lease-based work-stealing queue: every dispatched cell is leased to a
+worker with a deadline; a lease is renewed only when the worker reports
+a retry-attempt boundary, so a worker that is alive but wedged still
+loses the cell, which is requeued deterministically (grid order) and
+stolen by the next free worker.  Per-worker failures -- expired leases,
+dropped connections, stale heartbeats -- accumulate toward quarantine,
+after which the worker is never leased to again.
+
+Every escape hatch degrades rather than fails:
+
+* no worker connects within ``connect_deadline_s`` -- fall back to the
+  local pool backend (or sequential), record a ``DistDegraded``
+  incident, and run the sweep anyway;
+* every worker is lost or quarantined mid-sweep with no relaunch budget
+  left -- finish the remaining cells in-process, sequentially;
+* a cell that keeps losing its worker is parked as a
+  ``WorkerLostError`` failure after ``max_worker_restarts`` losses,
+  exactly like the pool backend.
+
+Because workers execute cells through the same ``_run_cell`` path as
+every other backend, aggregates, failures and checkpoint files are
+byte-identical to a sequential sweep's, and checkpoints resume across
+backends in both directions.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import asdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.dist.protocol import encode_blob, pickle_blob, unpickle_blob
+from repro.dist.scheduler import LeaseQueue, SchedulerServer
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.sim.backends import (
+    ProcessPoolBackend,
+    SequentialBackend,
+    SweepBackend,
+    SweepJob,
+    _CellQueue,
+)
+
+__all__ = ["DistributedBackend"]
+
+Cell = Tuple[str, Optional[int]]
+
+#: Scheduler poll period; short enough that tiny lease timeouts in the
+#: test-suite expire promptly, long enough to stay off the CPU.
+_POLL_S = 0.05
+
+
+def _incident(job: SweepJob, benchmark: str, seed, error_type: str,
+              message: str, attempts: int = 0):
+    """Record one supervision event on the summary's incident log."""
+    from repro.sim.runner import FailureReport
+
+    report = FailureReport(
+        benchmark=benchmark,
+        technique=job.technique,
+        seed=seed,
+        attempts=attempts,
+        error_type=error_type,
+        message=message,
+    )
+    job.incidents.append(report)
+    return report
+
+
+class DistributedBackend(SweepBackend):
+    """Lease sweep cells to independent worker subprocesses.
+
+    ``workers`` is the number of *local* worker subprocesses to launch;
+    0 launches none and relies on externally started workers
+    (``python -m repro.dist.worker --connect <address>``) joining
+    within ``connect_deadline_s``.
+    """
+
+    name = "dist"
+
+    def __init__(self, workers: int):
+        self.workers = max(workers, 0)
+
+    # ------------------------------------------------------------------
+    # Worker subprocess management
+    # ------------------------------------------------------------------
+    def _launch_worker(self, server: SchedulerServer) -> subprocess.Popen:
+        import repro
+
+        # Workers are fresh interpreters, not forks: the pickled spec and
+        # factory resolve by module reference, so the worker must be able
+        # to import every module the scheduler can.  Propagate the whole
+        # import path, not just the repro package.
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+            repro.__file__
+        )))
+        entries = [src_dir] + [p for p in sys.path if p and os.path.isdir(p)]
+        existing = os.environ.get("PYTHONPATH")
+        if existing:
+            entries.append(existing)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(entries))
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.dist.worker",
+                "--connect", server.address,
+                "--transport", server.transport,
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+        )
+
+    # ------------------------------------------------------------------
+    def execute(self, job: SweepJob) -> None:
+        resilience = job.resilience
+        server = SchedulerServer(resilience.dist_transport)
+        procs: List[subprocess.Popen] = []
+        try:
+            for _ in range(self.workers):
+                procs.append(self._launch_worker(server))
+            early = self._await_first_worker(job, server)
+            if early is None:
+                self._degrade_at_connect(job, server, procs)
+                return
+            self._run(job, server, procs, early)
+        finally:
+            self._teardown(server, procs)
+
+    # ------------------------------------------------------------------
+    # Connect phase
+    # ------------------------------------------------------------------
+    def _await_first_worker(self, job: SweepJob, server: SchedulerServer):
+        """Poll until a worker connects; the events consumed while
+        waiting (typically its ``hello``) are returned for the main loop
+        to process, or None if the deadline passes with no connection."""
+        deadline = time.monotonic() + job.resilience.connect_deadline_s
+        while time.monotonic() < deadline:
+            if job.drain.is_set():
+                raise job.drain_now()
+            events = server.poll(_POLL_S)
+            if server.workers:
+                return events
+        return None
+
+    def _degrade_at_connect(self, job: SweepJob, server: SchedulerServer,
+                            procs: List[subprocess.Popen]) -> None:
+        """No worker joined in time: run the sweep on a local backend."""
+        detail = (
+            f"no worker connected within"
+            f" {job.resilience.connect_deadline_s:g} s; degrading to a"
+            f" local backend"
+        )
+        _incident(job, "*", None, "DistDegraded", detail)
+        tracer = obs_trace.active_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "dist_degraded", cat=obs_trace.CAT_SUPERVISION,
+                args={"reason": "connect_deadline", "detail": detail},
+            )
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            registry.counter(
+                "dist_degradations_total",
+                help="dist sweeps completed on a fallback backend",
+            ).inc()
+        self._teardown(server, procs)
+        fallback_workers = min(max(self.workers, 1), max(len(job.pending), 1))
+        if fallback_workers > 1 and len(job.pending) > 1:
+            ProcessPoolBackend(fallback_workers).execute(job)
+        else:
+            SequentialBackend().execute(job)
+
+    # ------------------------------------------------------------------
+    # Main scheduling loop
+    # ------------------------------------------------------------------
+    def _run(self, job: SweepJob, server: SchedulerServer,
+             procs: List[subprocess.Popen],
+             early_events: Optional[list] = None) -> None:
+        from repro import obs
+        from repro.sim.runner import (
+            FailureReport,
+            _merge_worker_telemetry,
+            _metrics_from_dict,
+            _worker_lost_report,
+        )
+
+        runner = job.runner
+        resilience = job.resilience
+        tracer = obs_trace.active_tracer()
+        registry = obs_metrics.active_registry()
+
+        # Cached (resumed) cells report progress first, in grid order --
+        # same contract as the pool backend.
+        if job.progress is not None:
+            for cell in job.grid:
+                if cell in job.results:
+                    job.progress(cell[0], job.results[cell])
+
+        grid_index = {cell: i for i, cell in enumerate(job.grid)}
+        cell_queue = _CellQueue(job, resilience.circuit_breaker)
+        lease_queue = LeaseQueue([], grid_index)
+        spec_blob = encode_blob(pickle.dumps(
+            (
+                runner.config,
+                runner.supply_transform,
+                runner.max_base_cache_entries,
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        ))
+        factory_blob = pickle_blob(job.factory)
+        heartbeat_interval_s = 0.5
+        if resilience.heartbeat_stale_s is not None:
+            heartbeat_interval_s = min(
+                0.5, resilience.heartbeat_stale_s / 4.0
+            )
+        lost_counts: Dict[Cell, int] = {}
+        # Same shape as the pool's rebuild budget: each loss consumes
+        # one relaunch, each cell is parked after max_worker_restarts
+        # losses, so this cap only binds if supervision misbehaves.
+        relaunches_left = (resilience.max_worker_restarts + 1) * max(
+            1, len(job.pending)
+        )
+
+        def work_remains() -> bool:
+            return bool(cell_queue) or not lease_queue.done
+
+        def trace_instant(name: str, args: dict) -> None:
+            if tracer is not None:
+                tracer.instant(
+                    name, cat=obs_trace.CAT_SUPERVISION, args=args
+                )
+
+        def count(metric: str, help_text: str) -> None:
+            if registry is not None:
+                registry.counter(metric, help=help_text).inc()
+
+        def abandon_cell(cell: Cell, losses: int, detail: str) -> None:
+            lease_queue.park(cell)
+            job.record_failure(
+                cell,
+                _worker_lost_report(
+                    cell[0], job.technique, cell[1], losses, detail
+                ),
+            )
+            cell_queue.release_probe(cell, run_failed=False)
+
+        def cell_lost(cell: Cell, detail: str, error_type: str) -> None:
+            """One lease stolen back; park the cell if over budget."""
+            losses = lost_counts.get(cell, 0) + 1
+            lost_counts[cell] = losses
+            _incident(
+                job, cell[0], cell[1], error_type, detail, attempts=losses
+            )
+            if losses > resilience.max_worker_restarts:
+                abandon_cell(
+                    cell,
+                    losses,
+                    f"abandoned after losing its worker {losses} time(s)"
+                    f" (budget {resilience.max_worker_restarts});"
+                    f" last incident: {detail}",
+                )
+
+        def penalize(worker_id: str, detail: str,
+                     cell: Optional[Cell] = None) -> None:
+            state = server.workers.get(worker_id)
+            if state is None or state.quarantined:
+                return
+            state.failures += 1
+            if state.failures >= resilience.quarantine_failures:
+                state.quarantined = True
+                cell = cell or state.current_cell
+                _incident(
+                    job,
+                    cell[0] if cell else "*",
+                    cell[1] if cell else None,
+                    "WorkerQuarantined",
+                    f"worker {worker_id} quarantined after"
+                    f" {state.failures} failure(s); last: {detail}",
+                    attempts=state.failures,
+                )
+                trace_instant(
+                    "worker_quarantined",
+                    {"worker": worker_id, "failures": state.failures},
+                )
+                count(
+                    "dist_workers_quarantined_total",
+                    "workers quarantined after repeated failures",
+                )
+
+        def worker_gone(worker_id: str, detail: str) -> None:
+            """EOF, poisoned stream, or a failed send: steal everything."""
+            state = server.workers.get(worker_id)
+            if state is None:
+                return
+            stolen = lease_queue.release_worker(worker_id)
+            server.drop(worker_id)
+            trace_instant(
+                "dist_worker_lost",
+                {
+                    "worker": worker_id,
+                    "stolen_cells": len(stolen),
+                    "detail": detail,
+                },
+            )
+            count(
+                "dist_workers_lost_total",
+                "worker connections lost mid-sweep",
+            )
+            for lease in stolen:
+                last_loser[lease.cell] = worker_id
+                cell_lost(lease.cell, detail, "WorkerLostError")
+
+        def maybe_relaunch() -> None:
+            nonlocal relaunches_left
+            if not work_remains():
+                return
+            live = sum(1 for p in procs if p.poll() is None)
+            while live < self.workers and relaunches_left > 0:
+                relaunches_left -= 1
+                live += 1
+                procs.append(self._launch_worker(server))
+                trace_instant(
+                    "dist_worker_relaunch",
+                    {"relaunches_left": relaunches_left},
+                )
+                count(
+                    "dist_worker_relaunches_total",
+                    "replacement worker subprocesses launched",
+                )
+
+        # Which worker most recently lost each cell (expired lease or
+        # dead connection): dispatch avoids handing a stolen cell back
+        # to its loser -- likely still wedged or partitioned -- whenever
+        # any other worker is free.
+        last_loser: Dict[Cell, str] = {}
+
+        def dispatch() -> None:
+            now = time.monotonic()
+            while lease_queue.pending or cell_queue.queue:
+                leasable = [
+                    worker_id
+                    for worker_id, state in server.workers.items()
+                    if state.leasable
+                ]
+                if not leasable:
+                    return
+                # Stolen (requeued) cells outrank fresh dispatch, so
+                # expired work is retried in grid order before the
+                # queue advances.
+                if lease_queue.pending:
+                    head = lease_queue.pending[0]
+                else:
+                    head = cell_queue.queue[0]
+                worker_id = next(
+                    (
+                        w for w in leasable
+                        if last_loser.get(head) != w
+                    ),
+                    leasable[0],
+                )
+                state = server.workers[worker_id]
+                if not lease_queue.pending:
+                    lease_queue.push(cell_queue.queue.popleft())
+                lease = lease_queue.lease(
+                    worker_id, now, resilience.lease_timeout_s
+                )
+                if lease is None:
+                    return
+                cell = lease.cell
+                sent = server.send(worker_id, {
+                    "type": "lease",
+                    "benchmark": cell[0],
+                    "seed": cell[1],
+                    "technique": job.technique,
+                    "spec": spec_blob,
+                    "factory": factory_blob,
+                    "timeout_s": resilience.timeout_s,
+                    "max_retries": resilience.max_retries,
+                    "backoff_base_s": resilience.backoff_base_s,
+                    "backoff_max_s": resilience.backoff_max_s,
+                    "lease_timeout_s": resilience.lease_timeout_s,
+                })
+                if not sent:
+                    worker_gone(
+                        worker_id, "lease dispatch failed (peer gone)"
+                    )
+                    continue
+                state.current_cell = cell
+
+        def record_result(worker_id: str, message: dict) -> None:
+            state = server.workers.get(worker_id)
+            cell: Cell = (message["benchmark"], message["seed"])
+            if state is not None and state.current_cell == cell:
+                state.current_cell = None
+            accepted = lease_queue.complete(cell, worker_id)
+            if not accepted:
+                # Either a chaos-duplicated frame or a late result for a
+                # cell someone else already finished; cells are
+                # deterministic, so dropping the copy changes nothing.
+                trace_instant(
+                    "dist_duplicate_result_dropped",
+                    {"worker": worker_id, "benchmark": cell[0]},
+                )
+                count(
+                    "dist_duplicate_results_total",
+                    "late or duplicated results dropped",
+                )
+                return
+            blob = message.get("telemetry")
+            _merge_worker_telemetry(unpickle_blob(blob) if blob else None)
+            failure = message.get("failure")
+            if failure is not None:
+                job.record_failure(cell, FailureReport(**failure))
+                cell_queue.release_probe(cell, run_failed=True)
+            else:
+                job.record_success(
+                    cell, _metrics_from_dict(message["metrics"])
+                )
+                cell_queue.release_probe(cell, run_failed=False)
+
+        def handle_message(worker_id: str, message: Optional[dict]) -> None:
+            if message is None:
+                worker_gone(worker_id, "connection closed mid-sweep")
+                maybe_relaunch()
+                return
+            state = server.workers.get(worker_id)
+            if state is None:
+                return
+            kind = message.get("type")
+            now = time.monotonic()
+            if kind == "hello":
+                state.pid = message.get("pid")
+                state.last_heartbeat = now
+                if server.send(worker_id, {
+                    "type": "welcome",
+                    "worker_id": worker_id,
+                    "heartbeat_interval_s": heartbeat_interval_s,
+                    "obs_spec": obs.worker_spec(),
+                }):
+                    state.welcomed = True
+                else:
+                    worker_gone(worker_id, "welcome send failed")
+            elif kind == "heartbeat":
+                state.last_heartbeat = now
+            elif kind == "renew":
+                state.last_heartbeat = now
+                lease_queue.renew(
+                    (message["benchmark"], message["seed"]),
+                    worker_id, now, resilience.lease_timeout_s,
+                )
+            elif kind == "result":
+                state.last_heartbeat = now
+                record_result(worker_id, message)
+            elif kind == "goodbye":
+                worker_gone(worker_id, "worker said goodbye")
+
+        def expire_leases() -> None:
+            for lease in lease_queue.expire(time.monotonic()):
+                trace_instant(
+                    "dist_lease_expired",
+                    {
+                        "worker": lease.worker_id,
+                        "benchmark": lease.cell[0],
+                        "seed": lease.cell[1],
+                    },
+                )
+                count(
+                    "dist_leases_expired_total",
+                    "leases stolen back after missing their deadline",
+                )
+                last_loser[lease.cell] = lease.worker_id
+                cell_lost(
+                    lease.cell,
+                    f"lease on worker {lease.worker_id} expired after"
+                    f" {resilience.lease_timeout_s:g} s without a renewal",
+                    "LeaseExpired",
+                )
+                # The worker is suspect; stop counting on its in-flight
+                # work (a late result is still accepted if it lands).
+                state = server.workers.get(lease.worker_id)
+                if state is not None and state.current_cell == lease.cell:
+                    state.current_cell = None
+                penalize(
+                    lease.worker_id, "lease expired", cell=lease.cell
+                )
+
+        def retire_quarantined() -> None:
+            """Shut down quarantined workers with nothing in flight.
+
+            A quarantined worker gets no further leases, so once it has
+            no cell we can deliver a result for, keeping it (and its
+            process) alive would only stop the scheduler from noticing
+            that the fleet is exhausted -- or from relaunching a
+            replacement.
+            """
+            for worker_id in list(server.workers):
+                state = server.workers.get(worker_id)
+                if (
+                    state is None or not state.quarantined
+                    or state.current_cell is not None
+                ):
+                    continue
+                server.send(worker_id, {"type": "shutdown"})
+                server.drop(worker_id)
+                if state.pid:
+                    # A hung worker ignores the shutdown message.
+                    with contextlib.suppress(OSError):
+                        os.kill(state.pid, signal.SIGTERM)
+                trace_instant(
+                    "dist_worker_retired",
+                    {"worker": worker_id, "failures": state.failures},
+                )
+                maybe_relaunch()
+
+        def reap_stale_workers() -> None:
+            if resilience.heartbeat_stale_s is None:
+                return
+            now = time.monotonic()
+            for worker_id in list(server.workers):
+                state = server.workers.get(worker_id)
+                if state is None or not state.welcomed:
+                    continue
+                if now - state.last_heartbeat <= resilience.heartbeat_stale_s:
+                    continue
+                trace_instant(
+                    "heartbeat_stale_kill",
+                    {"worker": worker_id, "pid": state.pid},
+                )
+                if state.pid:
+                    with contextlib.suppress(OSError):
+                        os.kill(state.pid, signal.SIGKILL)
+                penalize(worker_id, "heartbeat went stale")
+                worker_gone(worker_id, "heartbeat went stale; killed")
+                maybe_relaunch()
+
+        def stalled() -> bool:
+            """True when nothing can make progress any more."""
+            for state in server.workers.values():
+                # Any non-quarantined connection -- welcomed or still
+                # mid-handshake -- and any worker with a cell in flight
+                # can still move the sweep forward.
+                if not state.quarantined or state.current_cell is not None:
+                    return False
+            if any(p.poll() is None for p in procs):
+                return False  # a worker is still booting toward connect
+            return relaunches_left <= 0 or self.workers == 0
+
+        def drain_and_raise() -> None:
+            deadline = time.monotonic() + resilience.drain_deadline_s
+            from repro.sim.runner import _cell_key
+
+            def in_flight() -> bool:
+                return any(
+                    s.current_cell is not None
+                    for s in server.workers.values()
+                )
+
+            while in_flight() and time.monotonic() < deadline:
+                for worker_id, message in server.poll(_POLL_S):
+                    if message is None:
+                        worker_gone(worker_id, "lost during drain")
+                    elif message.get("type") == "result":
+                        state = server.workers.get(worker_id)
+                        cell = (message["benchmark"], message["seed"])
+                        if state is not None and state.current_cell == cell:
+                            state.current_cell = None
+                        if not lease_queue.complete(cell, worker_id):
+                            continue
+                        blob = message.get("telemetry")
+                        _merge_worker_telemetry(
+                            unpickle_blob(blob) if blob else None
+                        )
+                        if message.get("failure") is None:
+                            name, seed = cell
+                            job.results[cell] = _metrics_from_dict(
+                                message["metrics"]
+                            )
+                            job.cells[
+                                _cell_key(
+                                    job.ordinal, name, job.technique, seed
+                                )
+                            ] = asdict(job.results[cell])
+            raise job.drain_now()
+
+        # -- the loop --------------------------------------------------
+        for worker_id, message in early_events or []:
+            handle_message(worker_id, message)
+        while work_remains():
+            if job.drain.is_set():
+                drain_and_raise()
+            expire_leases()
+            reap_stale_workers()
+            retire_quarantined()
+            dispatch()
+            for worker_id, message in server.poll(_POLL_S):
+                handle_message(worker_id, message)
+            # A dead subprocess whose socket EOF we already consumed (or
+            # that died before connecting) still needs replacing.
+            if work_remains():
+                for proc in procs:
+                    if proc.poll() is not None:
+                        maybe_relaunch()
+                        break
+            if work_remains() and stalled():
+                detail = (
+                    "every worker is lost or quarantined and the relaunch"
+                    " budget is exhausted; finishing the sweep in-process"
+                )
+                _incident(job, "*", None, "DistDegraded", detail)
+                trace_instant(
+                    "dist_degraded",
+                    {"reason": "workers_exhausted", "detail": detail},
+                )
+                count(
+                    "dist_degradations_total",
+                    "dist sweeps completed on a fallback backend",
+                )
+                self._finish_in_process(job, cell_queue)
+                return
+
+        # Orderly end: ask every worker to exit; workers answer with a
+        # goodbye or simply hang up, both of which _teardown absorbs.
+        for worker_id in list(server.workers):
+            server.send(worker_id, {"type": "shutdown"})
+
+    # ------------------------------------------------------------------
+    def _finish_in_process(self, job: SweepJob,
+                           cell_queue: _CellQueue) -> None:
+        """Run whatever is left on the scheduler's own runner.
+
+        Grid order, same ``_run_cell`` path -- results stay identical.
+        Progress for already-completed cells has fired, so unlike
+        :class:`SequentialBackend` this never replays it.
+        """
+        for cell in job.grid:
+            if cell in job.results or cell in job.failure_map:
+                continue
+            if job.drain.is_set():
+                raise job.drain_now()
+            name, seed = cell
+            metrics, failure = job.runner._run_cell(
+                name, job.technique, job.factory, job.resilience,
+                base_seed=seed,
+            )
+            if failure is not None:
+                job.record_failure(cell, failure)
+                cell_queue.release_probe(cell, run_failed=True)
+                continue
+            job.record_success(cell, metrics)
+            cell_queue.release_probe(cell, run_failed=False)
+
+    # ------------------------------------------------------------------
+    def _teardown(self, server: SchedulerServer,
+                  procs: List[subprocess.Popen]) -> None:
+        server.close()
+        deadline = time.monotonic() + 5.0
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            remaining = deadline - time.monotonic()
+            try:
+                proc.wait(timeout=max(remaining, 0.1))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                with contextlib.suppress(Exception):
+                    proc.wait(timeout=5.0)

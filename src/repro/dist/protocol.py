@@ -1,0 +1,179 @@
+"""Length-prefixed JSON wire protocol between scheduler and workers.
+
+Every message is one JSON object encoded as UTF-8 and prefixed with a
+4-byte big-endian length, so framing survives any TCP segmentation and
+a partial read is always detectable.  Binary payloads that must cross
+the wire intact -- the pickled cell spec and controller factory --
+travel as base64 text fields inside the JSON.
+
+Message types (``"type"`` field):
+
+========== =========== ==================================================
+type       direction   meaning
+========== =========== ==================================================
+hello      worker → s  worker announces itself (``worker``, ``pid``)
+welcome    s → worker  registration ack: heartbeat interval, obs spec
+lease      s → worker  one cell to execute, with spec/factory blobs,
+                       retry budget and the lease deadline
+renew      worker → s  retry attempt started: renew the cell's lease
+heartbeat  worker → s  liveness only (background thread; never renews)
+result     worker → s  cell finished: metrics or failure, telemetry
+shutdown   s → worker  stop after the current message; close the socket
+goodbye    worker → s  worker is exiting cleanly
+========== =========== ==================================================
+
+The scheduler never trusts a frame: oversized lengths and malformed
+JSON raise :class:`~repro.errors.DistributedError` (for its own socket)
+or count against the offending worker.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Iterator, Optional
+
+from repro.errors import DistributedError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "send_message",
+    "recv_message",
+    "FrameBuffer",
+    "encode_blob",
+    "decode_blob",
+    "pickle_blob",
+    "unpickle_blob",
+]
+
+#: Upper bound on one frame.  A lease (spec + factory blobs) is a few
+#: KiB; 32 MiB leaves room for pathological telemetry without letting a
+#: corrupt length prefix allocate gigabytes.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: 4-byte big-endian length + UTF-8 JSON."""
+    payload = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise DistributedError(
+            f"refusing to send a {len(payload)}-byte frame"
+            f" (limit {MAX_FRAME_BYTES})"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Send one framed message (callers serialize access per socket)."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes, or None on a clean EOF at a boundary."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None  # clean EOF between frames
+            raise DistributedError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[dict]:
+    """Blocking read of one message; None on clean EOF."""
+    header = _recv_exactly(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise DistributedError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte"
+            f" limit (corrupt stream?)"
+        )
+    payload = _recv_exactly(sock, length)
+    if payload is None:  # EOF right after a header: mid-frame
+        raise DistributedError("connection closed between header and body")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise DistributedError(f"malformed frame payload: {error}")
+    if not isinstance(message, dict) or "type" not in message:
+        raise DistributedError(
+            f"frame payload is not a typed message:"
+            f" {type(message).__name__}"
+        )
+    return message
+
+
+class FrameBuffer:
+    """Incremental decoder for the scheduler's non-blocking reads.
+
+    Feed raw bytes as they arrive; iterate complete messages.  Malformed
+    content raises :class:`DistributedError` -- the caller treats the
+    connection as poisoned and drops the worker.
+    """
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._data.extend(data)
+
+    def messages(self) -> Iterator[dict]:
+        while len(self._data) >= _LENGTH.size:
+            (length,) = _LENGTH.unpack(bytes(self._data[: _LENGTH.size]))
+            if length > MAX_FRAME_BYTES:
+                raise DistributedError(
+                    f"frame length {length} exceeds the"
+                    f" {MAX_FRAME_BYTES}-byte limit"
+                )
+            if len(self._data) < _LENGTH.size + length:
+                return
+            payload = bytes(self._data[_LENGTH.size: _LENGTH.size + length])
+            del self._data[: _LENGTH.size + length]
+            try:
+                message = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as error:
+                raise DistributedError(f"malformed frame payload: {error}")
+            if not isinstance(message, dict) or "type" not in message:
+                raise DistributedError("frame payload is not a typed message")
+            yield message
+
+
+# ----------------------------------------------------------------------
+# Binary payloads inside JSON
+# ----------------------------------------------------------------------
+
+def encode_blob(data: bytes) -> str:
+    """Binary-safe text form of ``data`` for a JSON field."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_blob(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as error:
+        raise DistributedError(f"undecodable blob field: {error}")
+
+
+def pickle_blob(obj) -> str:
+    """Pickle an object into a JSON-safe text blob."""
+    return encode_blob(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def unpickle_blob(text: str):
+    return pickle.loads(decode_blob(text))

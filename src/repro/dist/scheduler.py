@@ -1,0 +1,315 @@
+"""Lease-based work-stealing queue and worker registry for dist sweeps.
+
+The scheduler side of :mod:`repro.dist` is split in two layers so the
+policy is unit-testable without sockets:
+
+* :class:`LeaseQueue` -- pure bookkeeping: pending cells in grid order,
+  active leases with deadlines, deterministic requeue of expired leases
+  (sorted by grid index, stolen back to the *front* of the queue so the
+  oldest work is retried first).  Given the same grid and the same
+  sequence of lease/complete/expire events, the queue replays the same
+  dispatch order -- which is what makes incident lists reproducible.
+* :class:`WorkerState` / :class:`SchedulerServer` -- per-worker liveness
+  and the socket plumbing (bind/accept/poll, frame buffering, send
+  serialization).  Policy -- what to lease, when to quarantine, when to
+  degrade -- lives in :class:`repro.dist.backend.DistributedBackend`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import selectors
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dist.protocol import FrameBuffer, encode_frame
+from repro.errors import DistributedError
+
+__all__ = ["Lease", "LeaseQueue", "WorkerState", "SchedulerServer"]
+
+Cell = Tuple[str, Optional[int]]
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One cell checked out to one worker until a deadline."""
+
+    cell: Cell
+    worker_id: str
+    deadline: float
+    grid_index: int
+
+
+class LeaseQueue:
+    """Deterministic lease bookkeeping over a fixed cell grid.
+
+    ``cells`` is the pending work in grid order; ``grid_index`` maps
+    every cell to its position in the *full* sweep grid, which is the
+    total order used whenever several leases expire at once.  The queue
+    never invents ordering from wall-clock or hash iteration: dispatch
+    order is a pure function of the construction order and the sequence
+    of ``lease`` / ``complete`` / ``expire`` / ``release_worker`` calls.
+    """
+
+    def __init__(self, cells: Sequence[Cell], grid_index: Dict[Cell, int]):
+        self._pending: List[Cell] = list(cells)
+        self._grid_index = dict(grid_index)
+        self._leases: Dict[Cell, Lease] = {}
+        self._completed: set = set()
+
+    # -- introspection -------------------------------------------------
+    @property
+    def pending(self) -> Tuple[Cell, ...]:
+        return tuple(self._pending)
+
+    @property
+    def leased(self) -> Tuple[Lease, ...]:
+        return tuple(
+            sorted(self._leases.values(), key=lambda l: l.grid_index)
+        )
+
+    @property
+    def done(self) -> bool:
+        return not self._pending and not self._leases
+
+    def is_completed(self, cell: Cell) -> bool:
+        return cell in self._completed
+
+    def holder(self, cell: Cell) -> Optional[str]:
+        lease = self._leases.get(cell)
+        return lease.worker_id if lease else None
+
+    # -- mutation ------------------------------------------------------
+    def push(self, cell: Cell) -> None:
+        """Append a cell (a probe's released follower) in call order."""
+        self._pending.append(cell)
+
+    def lease(
+        self, worker_id: str, now: float, timeout_s: float
+    ) -> Optional[Lease]:
+        """Check the next pending cell out to ``worker_id``."""
+        if not self._pending:
+            return None
+        cell = self._pending.pop(0)
+        lease = Lease(
+            cell=cell,
+            worker_id=worker_id,
+            deadline=now + timeout_s,
+            grid_index=self._grid_index.get(cell, 0),
+        )
+        self._leases[cell] = lease
+        return lease
+
+    def renew(self, cell: Cell, worker_id: str, now: float,
+              timeout_s: float) -> bool:
+        """Extend a lease's deadline (a retry attempt reported progress)."""
+        lease = self._leases.get(cell)
+        if lease is None or lease.worker_id != worker_id:
+            return False
+        self._leases[cell] = Lease(
+            cell=cell, worker_id=worker_id, deadline=now + timeout_s,
+            grid_index=lease.grid_index,
+        )
+        return True
+
+    def complete(self, cell: Cell, worker_id: str) -> bool:
+        """Mark a cell finished.  Returns False for a stale or duplicate
+        result (cell already completed); late results from an expired
+        lease are accepted as long as nobody finished the cell first --
+        cells are deterministic, so whichever copy lands first is the
+        same bytes."""
+        if cell in self._completed:
+            return False
+        self._completed.add(cell)
+        self._leases.pop(cell, None)
+        with contextlib.suppress(ValueError):
+            self._pending.remove(cell)  # was requeued after expiry
+        return True
+
+    def park(self, cell: Cell) -> None:
+        """Remove a cell entirely (abandoned as a failure)."""
+        self._completed.add(cell)
+        self._leases.pop(cell, None)
+        with contextlib.suppress(ValueError):
+            self._pending.remove(cell)
+
+    def expire(self, now: float) -> List[Lease]:
+        """Steal back every lease past its deadline.
+
+        Expired leases are returned -- and requeued at the *front* of
+        the pending queue -- in grid order, so two runs expiring the
+        same set of leases retry them in the same order regardless of
+        dictionary iteration or wall-clock jitter.
+        """
+        expired = sorted(
+            (l for l in self._leases.values() if now > l.deadline),
+            key=lambda l: l.grid_index,
+        )
+        for lease in reversed(expired):
+            del self._leases[lease.cell]
+            self._pending.insert(0, lease.cell)
+        return expired
+
+    def release_worker(self, worker_id: str) -> List[Lease]:
+        """Steal back every lease held by a dead worker (grid order)."""
+        stolen = sorted(
+            (l for l in self._leases.values() if l.worker_id == worker_id),
+            key=lambda l: l.grid_index,
+        )
+        for lease in reversed(stolen):
+            del self._leases[lease.cell]
+            self._pending.insert(0, lease.cell)
+        return stolen
+
+
+@dataclass
+class WorkerState:
+    """Liveness and failure accounting for one connected worker."""
+
+    worker_id: str
+    sock: socket.socket
+    pid: Optional[int] = None
+    connected_at: float = 0.0
+    last_heartbeat: float = 0.0
+    current_cell: Optional[Cell] = None
+    failures: int = 0
+    quarantined: bool = False
+    welcomed: bool = False
+    buffer: FrameBuffer = field(default_factory=FrameBuffer)
+
+    @property
+    def leasable(self) -> bool:
+        return self.welcomed and not self.quarantined \
+            and self.current_cell is None
+
+
+class SchedulerServer:
+    """Socket plumbing for the scheduler: bind, accept, poll, send.
+
+    Transport is ``"unix"`` (a socket file in a private temp directory)
+    or ``"tcp"`` (127.0.0.1, kernel-chosen port).  The server assigns
+    worker ids ``w0``, ``w1``, ... in accept order; message routing and
+    policy stay with the caller, which drains :meth:`poll` events.
+    """
+
+    def __init__(self, transport: str = "unix"):
+        if transport not in ("unix", "tcp"):
+            raise DistributedError(
+                f"unknown transport {transport!r} (use 'unix' or 'tcp')"
+            )
+        self.transport = transport
+        self._tmpdir: Optional[str] = None
+        if transport == "unix":
+            self._tmpdir = tempfile.mkdtemp(prefix="repro-dist-")
+            self.address = os.path.join(self._tmpdir, "scheduler.sock")
+            self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._listener.bind(self.address)
+        else:
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.bind(("127.0.0.1", 0))
+            host, port = self._listener.getsockname()
+            self.address = f"{host}:{port}"
+        self._listener.listen(64)
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self.workers: Dict[str, WorkerState] = {}
+        self._next_id = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _accept(self, now: float) -> WorkerState:
+        conn, _addr = self._listener.accept()
+        conn.setblocking(True)
+        # Sends are small and workers always read between cells; a
+        # bounded timeout turns a truly wedged peer into a failure
+        # instead of wedging the scheduler.
+        conn.settimeout(10.0)
+        worker_id = f"w{self._next_id}"
+        self._next_id += 1
+        state = WorkerState(
+            worker_id=worker_id, sock=conn,
+            connected_at=now, last_heartbeat=now,
+        )
+        self.workers[worker_id] = state
+        self._selector.register(conn, selectors.EVENT_READ, worker_id)
+        return state
+
+    def poll(self, timeout: float) -> List[Tuple[str, Optional[dict]]]:
+        """One poll round: ``(worker_id, message)`` events in arrival
+        order.  ``message=None`` means the worker disconnected (EOF or a
+        poisoned frame stream); new connections surface as their first
+        messages (usually ``hello``)."""
+        events: List[Tuple[str, Optional[dict]]] = []
+        now = time.monotonic()
+        for key, _mask in self._selector.select(timeout):
+            if key.data is None:
+                with contextlib.suppress(OSError):
+                    self._accept(now)
+                continue
+            worker_id = key.data
+            state = self.workers.get(worker_id)
+            if state is None:
+                continue
+            try:
+                data = state.sock.recv(1 << 16)
+            except OSError:
+                data = b""
+            if not data:
+                events.append((worker_id, None))
+                continue
+            try:
+                state.buffer.feed(data)
+                for message in state.buffer.messages():
+                    events.append((worker_id, message))
+            except DistributedError:
+                events.append((worker_id, None))
+        return events
+
+    def send(self, worker_id: str, message: dict) -> bool:
+        """Send one message; False (never an exception) on a dead peer."""
+        state = self.workers.get(worker_id)
+        if state is None:
+            return False
+        try:
+            state.sock.sendall(encode_frame(message))
+            return True
+        except OSError:
+            return False
+
+    def drop(self, worker_id: str) -> None:
+        """Forget a worker and close its socket."""
+        state = self.workers.pop(worker_id, None)
+        if state is None:
+            return
+        with contextlib.suppress(Exception):
+            self._selector.unregister(state.sock)
+        with contextlib.suppress(OSError):
+            state.sock.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker_id in list(self.workers):
+            self.drop(worker_id)
+        with contextlib.suppress(Exception):
+            self._selector.unregister(self._listener)
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        self._selector.close()
+        if self._tmpdir is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(os.path.join(self._tmpdir, "scheduler.sock"))
+            with contextlib.suppress(OSError):
+                os.rmdir(self._tmpdir)
+
+    def __enter__(self) -> "SchedulerServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

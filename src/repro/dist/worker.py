@@ -1,0 +1,288 @@
+"""Distributed sweep worker: ``python -m repro.dist.worker --connect ...``.
+
+A worker is an independent subprocess (its own interpreter, simulator
+state and base-run cache -- nothing shared with the scheduler beyond the
+socket).  It connects, introduces itself with ``hello``, and then serves
+``lease`` messages until told to ``shutdown``: each lease carries the
+pickled cell spec and controller factory, the retry budget, and the
+cell's coordinates; the worker rebuilds a private
+:class:`~repro.sim.runner.BenchmarkRunner` (cached until the spec
+changes) and executes the cell through the same ``_run_cell`` path as
+every other backend -- which is why results are byte-identical.
+
+Liveness and progress are deliberately separate channels:
+
+* a background thread sends ``heartbeat`` every few seconds -- pure
+  liveness, it never extends a lease;
+* the main thread sends ``renew`` at each retry-attempt boundary --
+  the only thing that moves a lease deadline.  A worker that is alive
+  but wedged inside one attempt keeps heartbeating yet stops renewing,
+  so its lease still expires and the cell is stolen back.
+
+Network chaos (:mod:`repro.faults.chaos` sabotage transforms run inside
+the cell, i.e. in *this* process) is armed through the module-level
+:func:`chaos_drop_connection` / :func:`chaos_partition` /
+:func:`chaos_delay_result` / :func:`chaos_duplicate_result` hooks and
+applied at the result boundary, where real networks actually fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import os
+import socket
+import sys
+import threading
+import time
+from dataclasses import asdict
+from typing import Optional
+
+from repro.dist.protocol import (
+    recv_message,
+    send_message,
+    unpickle_blob,
+    pickle_blob,
+)
+from repro.errors import DistributedError
+
+#: Chaos flags set by sabotage transforms mid-cell and consumed at the
+#: result boundary.  Module-level so picklable transform objects can
+#: reach them via ``import repro.dist.worker``.
+_CHAOS: dict = {}
+
+
+def chaos_drop_connection() -> None:
+    """Arm: close the socket instead of sending the next result."""
+    _CHAOS["drop_connection"] = True
+
+
+def chaos_partition(seconds: float) -> None:
+    """Arm: go silent (no heartbeats, no result) for ``seconds``."""
+    _CHAOS["partition_s"] = float(seconds)
+
+
+def chaos_delay_result(seconds: float) -> None:
+    """Arm: hold the next result back for ``seconds`` (heartbeats live)."""
+    _CHAOS["delay_result_s"] = float(seconds)
+
+
+def chaos_duplicate_result() -> None:
+    """Arm: deliver the next result frame twice."""
+    _CHAOS["duplicate_result"] = True
+
+
+# ----------------------------------------------------------------------
+# Connection
+# ----------------------------------------------------------------------
+
+def connect(address: str, transport: str) -> socket.socket:
+    if transport == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(address)
+    elif transport == "tcp":
+        host, _, port = address.rpartition(":")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.connect((host or "127.0.0.1", int(port)))
+    else:
+        raise DistributedError(f"unknown transport {transport!r}")
+    return sock
+
+
+class _Heartbeat(threading.Thread):
+    """Liveness-only beacon; shares the send lock with the main thread."""
+
+    def __init__(self, sock: socket.socket, lock: threading.Lock,
+                 interval_s: float):
+        super().__init__(daemon=True, name="dist-heartbeat")
+        self._sock = sock
+        self._lock = lock
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        #: monotonic timestamp before which the beacon stays silent
+        #: (a simulated network partition).
+        self.muted_until = 0.0
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            if time.monotonic() < self.muted_until:
+                continue
+            try:
+                with self._lock:
+                    send_message(self._sock, {"type": "heartbeat"})
+            except OSError:
+                return  # scheduler is gone; the main thread will notice
+
+
+# ----------------------------------------------------------------------
+# Cell execution
+# ----------------------------------------------------------------------
+
+#: Worker-process cache: the runner rebuilt from the last lease's spec
+#: blob, reused across cells exactly like the pool workers'
+#: ``_WORKER_STATE`` (so base runs amortise within one worker).
+_STATE: dict = {}
+
+
+def _execute_lease(lease: dict, renew) -> dict:
+    """Run one leased cell; return the ``result`` message to send.
+
+    Mirrors :func:`repro.sim.runner._worker_run_cell` -- same runner
+    cache, same ``_run_cell`` retry/timeout path, same per-cell metrics
+    snapshot -- but reports attempt boundaries through ``renew`` (the
+    lease-extension channel) instead of a shared-memory heartbeat map.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.sim.runner import BenchmarkRunner, ResilienceConfig
+
+    spec_blob = lease["spec"]
+    if _STATE.get("spec") != spec_blob:
+        config, supply_transform, max_base_cache_entries = unpickle_blob(
+            spec_blob
+        )
+        _STATE["runner"] = BenchmarkRunner(
+            config,
+            supply_transform=supply_transform,
+            max_base_cache_entries=max_base_cache_entries,
+        )
+        _STATE["spec"] = spec_blob
+    runner = _STATE["runner"]
+    factory = unpickle_blob(lease["factory"])
+    benchmark = lease["benchmark"]
+    seed = lease["seed"]
+    resilience = ResilienceConfig(
+        timeout_s=lease.get("timeout_s"),
+        max_retries=lease.get("max_retries", 0),
+        backoff_base_s=lease.get("backoff_base_s", 0.0),
+        backoff_max_s=lease.get("backoff_max_s", 30.0),
+    )
+    registry = obs_metrics.active_registry()
+    if registry is not None:
+        registry.reset()
+    metrics, failure = runner._run_cell(
+        benchmark,
+        lease["technique"],
+        factory,
+        resilience,
+        base_seed=seed,
+        on_attempt=lambda attempt: renew(benchmark, seed),
+    )
+    telemetry = registry.snapshot() if registry is not None else None
+    return {
+        "type": "result",
+        "benchmark": benchmark,
+        "seed": seed,
+        "metrics": None if metrics is None else asdict(metrics),
+        "failure": None if failure is None else asdict(failure),
+        "telemetry": None if telemetry is None else pickle_blob(telemetry),
+    }
+
+
+def _deliver_result(sock: socket.socket, lock: threading.Lock,
+                    heartbeat: Optional[_Heartbeat], result: dict) -> None:
+    """Send a result, applying any armed network chaos at the boundary."""
+    partition_s = _CHAOS.pop("partition_s", None)
+    if partition_s is not None:
+        if heartbeat is not None:
+            heartbeat.muted_until = time.monotonic() + partition_s
+        time.sleep(partition_s)
+    delay_s = _CHAOS.pop("delay_result_s", None)
+    if delay_s is not None:
+        time.sleep(delay_s)
+    if _CHAOS.pop("drop_connection", None):
+        # A mid-cell connection drop: the scheduler sees EOF with the
+        # lease outstanding and must steal the cell back.
+        with contextlib.suppress(OSError):
+            sock.shutdown(socket.SHUT_RDWR)
+        sock.close()
+        raise SystemExit(1)
+    repeats = 2 if _CHAOS.pop("duplicate_result", None) else 1
+    for _ in range(repeats):
+        with lock:
+            send_message(sock, result)
+
+
+# ----------------------------------------------------------------------
+# Main loop
+# ----------------------------------------------------------------------
+
+def serve(address: str, transport: str) -> int:
+    from repro import obs
+
+    sock = connect(address, transport)
+    lock = threading.Lock()
+    with lock:
+        send_message(sock, {"type": "hello", "pid": os.getpid()})
+    welcome = recv_message(sock)
+    if welcome is None or welcome.get("type") != "welcome":
+        raise DistributedError(
+            f"expected a welcome, got {welcome and welcome.get('type')!r}"
+        )
+    obs.init_worker(welcome.get("obs_spec"))
+    heartbeat = _Heartbeat(
+        sock, lock, float(welcome.get("heartbeat_interval_s", 2.0))
+    )
+    heartbeat.start()
+
+    def renew(benchmark: str, seed) -> None:
+        # Best effort: a lost renew only risks a premature lease expiry,
+        # which the scheduler resolves through the normal stolen path.
+        with contextlib.suppress(OSError):
+            with lock:
+                send_message(
+                    sock,
+                    {"type": "renew", "benchmark": benchmark, "seed": seed},
+                )
+
+    try:
+        while True:
+            message = recv_message(sock)
+            if message is None:  # scheduler hung up
+                return 0
+            kind = message.get("type")
+            if kind == "shutdown":
+                with contextlib.suppress(OSError):
+                    with lock:
+                        send_message(sock, {"type": "goodbye"})
+                return 0
+            if kind == "lease":
+                result = _execute_lease(message, renew)
+                _deliver_result(sock, lock, heartbeat, result)
+            # anything else (e.g. a stray ping) is ignored
+    finally:
+        heartbeat.stop()
+        with contextlib.suppress(OSError):
+            sock.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dist.worker",
+        description="sweep worker: connect to a scheduler and serve leases",
+    )
+    parser.add_argument(
+        "--connect", required=True,
+        help="scheduler address (socket path, or host:port for tcp)",
+    )
+    parser.add_argument(
+        "--transport", choices=("unix", "tcp"), default="unix",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return serve(args.connect, args.transport)
+    except (DistributedError, OSError) as error:
+        print(f"worker error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    # ``python -m`` executes this file as ``__main__``, a *second* module
+    # object distinct from the imported ``repro.dist.worker`` that chaos
+    # transforms reach for.  Dispatch into the canonical module so the
+    # serving loop and the chaos hooks share one ``_CHAOS``.
+    from repro.dist.worker import main as _canonical_main
+
+    sys.exit(_canonical_main())

@@ -55,6 +55,29 @@ class HarnessError(ReproError):
     """
 
 
+class ResilienceConfigError(ConfigurationError, HarnessError):
+    """A :class:`~repro.sim.runner.ResilienceConfig` knob is out of range.
+
+    Raised at *construction* so a bad timeout, backoff, worker count or
+    lease setting fails immediately with a clear message instead of
+    failing (or silently misbehaving) mid-sweep.  Subclasses both
+    :class:`ConfigurationError` (it is a bad configuration) and
+    :class:`HarnessError` (it concerns the harness, not the physics), so
+    either family of handler catches it.
+    """
+
+
+class DistributedError(HarnessError):
+    """The distributed sweep backend's scheduler or transport failed.
+
+    Covers protocol violations (oversized or malformed frames), a
+    scheduler socket that cannot be bound, and worker launches that fail
+    outright.  Recoverable conditions -- a worker crashing mid-cell, an
+    expired lease, a partitioned connection -- are *not* errors: the
+    scheduler requeues and records an incident instead.
+    """
+
+
 class CheckpointError(HarnessError):
     """A sweep checkpoint file is missing, corrupt, or unusable.
 

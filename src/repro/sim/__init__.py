@@ -1,5 +1,13 @@
 """Simulation harness: the cycle loop, metrics and batch sweeps."""
 
+from repro.sim.backends import (
+    BACKEND_CHOICES,
+    ProcessPoolBackend,
+    SequentialBackend,
+    SweepBackend,
+    SweepJob,
+    select_backend,
+)
 from repro.sim.metrics import RelativeMetrics, SimulationResult
 from repro.sim.runner import (
     BenchmarkRunner,
@@ -14,15 +22,21 @@ from repro.sim.runner import (
 from repro.sim.simulation import Simulation
 
 __all__ = [
+    "BACKEND_CHOICES",
     "RelativeMetrics",
     "SimulationResult",
     "BenchmarkRunner",
     "FailureReport",
+    "ProcessPoolBackend",
     "ResilienceConfig",
     "SeedStatistics",
+    "SequentialBackend",
+    "SweepBackend",
     "SweepConfig",
+    "SweepJob",
     "TechniqueSummary",
     "load_checkpoint",
+    "select_backend",
     "summarize",
     "Simulation",
 ]

@@ -40,13 +40,8 @@ import re
 import signal
 import threading
 import time
-from collections import OrderedDict, deque
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    ProcessPoolExecutor,
-    wait as futures_wait,
-)
-from concurrent.futures.process import BrokenProcessPool
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, fields
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -70,6 +65,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.log import warn_once
 from repro.power.supply import PowerSupply
+from repro.sim.backends import SweepJob, select_backend
 from repro.sim.metrics import RelativeMetrics, SimulationResult
 from repro.sim.simulation import Simulation
 from repro.uarch.processor import Processor
@@ -153,7 +149,9 @@ class ResilienceConfig:
     checkpoint_path: Optional[str] = None
     #: load the checkpoint and skip already-completed cells
     resume: bool = False
-    #: worker processes executing sweep cells; 1 = in-process (sequential)
+    #: worker processes executing sweep cells; 1 = in-process (sequential),
+    #: 0 = none launched locally (sequential on auto; external workers
+    #: only on the distributed backend)
     workers: int = 1
     #: a parallel worker whose current cell has not progressed for this
     #: many seconds is presumed hung, killed, and its cell requeued;
@@ -175,32 +173,107 @@ class ResilienceConfig:
     #: after SIGTERM/SIGINT, how long the parallel drain waits for
     #: in-flight cells before killing the pool and exiting resumable
     drain_deadline_s: float = 10.0
+    #: execution backend: "auto" (workers > 1 means the local process
+    #: pool, else sequential), or force "sequential" / "pool" / "dist"
+    backend: str = "auto"
+    #: distributed backend: seconds a worker holds a cell's lease before
+    #: the scheduler presumes it lost and requeues the cell (renewed at
+    #: every retry attempt the worker reports)
+    lease_timeout_s: float = 60.0
+    #: distributed backend: quarantine a worker (stop leasing to it)
+    #: after this many attributed failures -- expired leases, dropped
+    #: connections, crashes
+    quarantine_failures: int = 3
+    #: distributed backend: if no worker has connected this many seconds
+    #: after the scheduler starts listening, degrade to the local pool
+    #: backend instead of stalling the sweep
+    connect_deadline_s: float = 10.0
+    #: distributed backend transport: "unix" (socketpair-fast, same
+    #: host) or "tcp" (127.0.0.1; the shape of a multi-host deployment)
+    dist_transport: str = "unix"
 
     def __post_init__(self) -> None:
+        # Validation happens at construction -- with ResilienceConfigError
+        # (both a ConfigurationError and a HarnessError) and a message
+        # naming the offending knob and value -- so a bad config fails the
+        # command immediately instead of failing mid-sweep.
+        from repro.errors import ResilienceConfigError
+
+        def reject(message: str) -> None:
+            raise ResilienceConfigError(message)
+
         if self.timeout_s is not None and self.timeout_s <= 0:
-            raise ConfigurationError("timeout_s must be positive when set")
+            reject(
+                f"timeout_s must be positive when set, got {self.timeout_s!r}"
+            )
         if self.max_retries < 0:
-            raise ConfigurationError("max_retries must be non-negative")
+            reject(
+                f"max_retries must be non-negative, got {self.max_retries!r}"
+            )
         if self.resume and self.checkpoint_path is None:
-            raise ConfigurationError("resume requires a checkpoint_path")
-        if self.workers < 1:
-            raise ConfigurationError("workers must be at least 1")
+            reject("resume requires a checkpoint_path")
+        if self.workers < 0:
+            reject(
+                f"workers must be non-negative, got {self.workers!r}"
+                f" (0 = no local workers, 1 = sequential, N = fan out)"
+            )
         if self.heartbeat_stale_s is not None and self.heartbeat_stale_s <= 0:
-            raise ConfigurationError(
-                "heartbeat_stale_s must be positive when set"
+            reject(
+                f"heartbeat_stale_s must be positive when set,"
+                f" got {self.heartbeat_stale_s!r}"
             )
         if self.max_worker_restarts < 0:
-            raise ConfigurationError("max_worker_restarts must be non-negative")
+            reject(
+                f"max_worker_restarts must be non-negative,"
+                f" got {self.max_worker_restarts!r}"
+            )
         if self.backoff_base_s < 0:
-            raise ConfigurationError("backoff_base_s must be non-negative")
+            reject(
+                f"backoff_base_s must be non-negative,"
+                f" got {self.backoff_base_s!r}"
+            )
         if self.backoff_max_s < 0:
-            raise ConfigurationError("backoff_max_s must be non-negative")
+            reject(
+                f"backoff_max_s must be non-negative,"
+                f" got {self.backoff_max_s!r}"
+            )
         if self.backoff_base_s > 0 and self.backoff_max_s < self.backoff_base_s:
-            raise ConfigurationError(
-                "backoff_max_s must be at least backoff_base_s"
+            reject(
+                f"backoff_max_s ({self.backoff_max_s!r}) must be at least"
+                f" backoff_base_s ({self.backoff_base_s!r})"
             )
         if self.drain_deadline_s <= 0:
-            raise ConfigurationError("drain_deadline_s must be positive")
+            reject(
+                f"drain_deadline_s must be positive,"
+                f" got {self.drain_deadline_s!r}"
+            )
+        from repro.sim.backends import BACKEND_CHOICES
+
+        if self.backend not in BACKEND_CHOICES:
+            reject(
+                f"backend must be one of {', '.join(BACKEND_CHOICES)},"
+                f" got {self.backend!r}"
+            )
+        if self.lease_timeout_s <= 0:
+            reject(
+                f"lease_timeout_s must be positive,"
+                f" got {self.lease_timeout_s!r}"
+            )
+        if self.quarantine_failures < 1:
+            reject(
+                f"quarantine_failures must be at least 1,"
+                f" got {self.quarantine_failures!r}"
+            )
+        if self.connect_deadline_s <= 0:
+            reject(
+                f"connect_deadline_s must be positive,"
+                f" got {self.connect_deadline_s!r}"
+            )
+        if self.dist_transport not in ("unix", "tcp"):
+            reject(
+                f"dist_transport must be 'unix' or 'tcp',"
+                f" got {self.dist_transport!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -1383,36 +1456,6 @@ class BenchmarkRunner:
                 help="wall-clock seconds per sweep cell, retries included",
             ).observe(time.perf_counter() - started)
 
-    def _effective_workers(
-        self,
-        resilience: ResilienceConfig,
-        factory: ControllerFactory,
-        n_pending: int,
-    ) -> int:
-        """Workers actually usable for this sweep (1 = run in-process).
-
-        The parallel backend needs the cell spec -- sweep configuration,
-        supply transform and controller factory -- to cross a process
-        boundary; a spec that does not pickle (a closure-built factory, a
-        transform closed over live simulator objects) degrades to the
-        sequential path with a warning rather than failing the sweep.
-        """
-        if resilience.workers <= 1 or n_pending <= 1:
-            return 1
-        try:
-            pickle.dumps(
-                (self.config, self.supply_transform, factory),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-        except Exception as error:
-            warn_once(
-                f"parallel sweep disabled: cell spec is not picklable"
-                f" ({type(error).__name__}: {error}); running sequentially",
-                stacklevel=4,
-            )
-            return 1
-        return min(resilience.workers, n_pending)
-
     def sweep(
         self,
         factory: ControllerFactory,
@@ -1498,11 +1541,13 @@ class BenchmarkRunner:
                         results[(name, seed)] = _metrics_from_dict(cells[key])
                     else:
                         pending.append((name, seed))
-                workers = self._effective_workers(
-                    resilience, factory, len(pending)
+                backend = select_backend(
+                    self, resilience, factory, len(pending)
                 )
+                workers = backend.workers
             sweep_args.update({
                 "technique": technique,
+                "backend": backend.name,
                 "workers": workers,
                 "cells_total": len(grid),
                 "cells_cached": len(grid) - len(pending),
@@ -1519,18 +1564,23 @@ class BenchmarkRunner:
             drain = _DrainFlag()
             t_execute = time.perf_counter()
             with _maybe_span(tracer, "execute"), _drain_on_signals(drain):
-                if workers > 1:
-                    self._execute_parallel(
-                        pending, ordinal, technique, factory, resilience,
-                        workers, progress, cells, results, failure_map,
-                        timings, grid, drain, incidents,
-                    )
-                else:
-                    self._execute_sequential(
-                        grid, ordinal, technique, factory, resilience,
-                        progress, cells, results, failure_map, timings,
-                        drain,
-                    )
+                job = SweepJob(
+                    runner=self,
+                    grid=grid,
+                    pending=pending,
+                    ordinal=ordinal,
+                    technique=technique,
+                    factory=factory,
+                    resilience=resilience,
+                    progress=progress,
+                    cells=cells,
+                    results=results,
+                    failure_map=failure_map,
+                    timings=timings,
+                    drain=drain,
+                    incidents=incidents,
+                )
+                backend.execute(job)
             timings["execute"] = time.perf_counter() - t_execute
 
             t_aggregate = time.perf_counter()
@@ -1690,375 +1740,6 @@ class BenchmarkRunner:
             pending=len(pending_cells),
         )
 
-    def _execute_sequential(
-        self,
-        grid: Sequence[Tuple[str, Optional[int]]],
-        ordinal: int,
-        technique: str,
-        factory: ControllerFactory,
-        resilience: ResilienceConfig,
-        progress: Optional[Callable[[str, RelativeMetrics], None]],
-        cells: Dict[str, dict],
-        results: Dict[Tuple[str, Optional[int]], RelativeMetrics],
-        failure_map: Dict[Tuple[str, Optional[int]], FailureReport],
-        timings: Dict[str, float],
-        drain: "_DrainFlag",
-    ) -> None:
-        """Run pending cells in-process, in grid order.
-
-        The circuit breaker gates each benchmark on its first *pending*
-        cell: if that probe cell exhausts its retry budget, the
-        benchmark's remaining pending cells are parked as ``skipped``
-        failures instead of burning the same budget once per seed.  The
-        rule depends only on grid order, so the parallel backend (which
-        dispatches the same probes first) parks the identical set.
-        """
-        tracer = obs_trace.active_tracer()
-        open_benchmarks: set = set()
-        probed: set = set()
-        for name, seed in grid:
-            cell = (name, seed)
-            if cell in results:  # resumed from the checkpoint
-                if progress is not None:
-                    progress(name, results[cell])
-                continue
-            if drain.is_set():
-                pending_after = [
-                    c for c in grid
-                    if c not in results and c not in failure_map
-                ]
-                raise self._drain_now(
-                    resilience, technique, drain, len(results), pending_after
-                )
-            if name in open_benchmarks:
-                failure_map[cell] = _circuit_open_report(name, technique, seed)
-                continue
-            is_probe = name not in probed
-            probed.add(name)
-            metrics, failure = self._run_cell(
-                name, technique, factory, resilience, base_seed=seed
-            )
-            if failure is not None:
-                failure_map[cell] = failure
-                if is_probe and resilience.circuit_breaker:
-                    open_benchmarks.add(name)
-                    if tracer is not None:
-                        tracer.instant(
-                            "circuit_breaker_trip",
-                            cat=obs_trace.CAT_SUPERVISION,
-                            args={"benchmark": name, "technique": technique},
-                        )
-                continue
-            results[cell] = metrics
-            cells[_cell_key(ordinal, name, technique, seed)] = asdict(metrics)
-            t_io = time.perf_counter()
-            self._save_cells(resilience)
-            timings["checkpoint_io"] += time.perf_counter() - t_io
-            if progress is not None:
-                progress(name, metrics)
-
-    def _execute_parallel(
-        self,
-        pending: Sequence[Tuple[str, Optional[int]]],
-        ordinal: int,
-        technique: str,
-        factory: ControllerFactory,
-        resilience: ResilienceConfig,
-        workers: int,
-        progress: Optional[Callable[[str, RelativeMetrics], None]],
-        cells: Dict[str, dict],
-        results: Dict[Tuple[str, Optional[int]], RelativeMetrics],
-        failure_map: Dict[Tuple[str, Optional[int]], FailureReport],
-        timings: Dict[str, float],
-        grid: Sequence[Tuple[str, Optional[int]]],
-        drain: "_DrainFlag",
-        incidents: List[FailureReport],
-    ) -> None:
-        """Run pending cells on a *supervised* process pool.
-
-        The parent writes the checkpoint as cells complete (completion
-        order, but cell-keyed, so the final file is byte-identical to a
-        sequential run's) and reports ``progress`` in completion order;
-        cached cells are reported first, in grid order.
-
-        Supervision: cells are dispatched incrementally (a bounded window
-        rather than all up front).  A dead worker (``BrokenProcessPool``
-        -- OOM kill, segfault, SIGKILL) or a hung one (heartbeat older
-        than ``heartbeat_stale_s``, killed by the supervisor) triggers a
-        pool rebuild; the lost cells are requeued with a per-cell restart
-        budget (``max_worker_restarts``) and each event is recorded on the
-        summary's ``incidents``.  Cells that keep losing their worker are
-        parked as ``WorkerLostError`` failures; the sweep always
-        terminates instead of hanging on a poisoned pool.
-
-        A drain request (SIGTERM/SIGINT) stops dispatch, waits up to
-        ``drain_deadline_s`` for in-flight cells, kills whatever is still
-        running, flushes the checkpoint and raises
-        :class:`SweepInterrupted`.
-        """
-        tracer = obs_trace.active_tracer()
-        registry = obs_metrics.active_registry()
-        if progress is not None:
-            for cell in grid:
-                if cell in results:
-                    progress(cell[0], results[cell])
-        spec_blob = pickle.dumps(
-            (self.config, self.supply_transform, self.max_base_cache_entries),
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
-        heartbeat = resilience.heartbeat_stale_s is not None
-        executor = self._ensure_executor(workers, heartbeat=heartbeat)
-
-        # Circuit-breaker gating mirrors the sequential rule exactly: the
-        # first pending cell of each benchmark (grid order) is its probe;
-        # the rest of that benchmark's cells are held until the probe
-        # resolves, then released (probe succeeded or lost its worker) or
-        # parked (probe exhausted its retry budget).
-        held: Dict[str, List[Tuple[str, Optional[int]]]] = {}
-        probes: Dict[Tuple[str, Optional[int]], str] = {}
-        queue: deque = deque()
-        if resilience.circuit_breaker:
-            seen: set = set()
-            for cell in pending:
-                name = cell[0]
-                if name in seen:
-                    held.setdefault(name, []).append(cell)
-                else:
-                    seen.add(name)
-                    probes[cell] = name
-                    queue.append(cell)
-        else:
-            queue.extend(pending)
-
-        inflight: Dict[object, Tuple[str, Optional[int]]] = {}
-        lost_cells: List[Tuple[str, Optional[int]]] = []
-        lost_detail = ""
-        lost_counts: Dict[Tuple[str, Optional[int]], int] = {}
-        # Each rebuild loses at least one in-flight cell, and each cell is
-        # parked after max_worker_restarts losses, so this hard cap can
-        # only bind if supervision itself misbehaves.
-        rebuilds_left = (resilience.max_worker_restarts + 1) * max(
-            1, len(pending)
-        )
-        pool_broken = False
-
-        def submit(cell):
-            name, seed = cell
-            future = executor.submit(
-                _worker_run_cell,
-                spec_blob,
-                factory,
-                name,
-                technique,
-                seed,
-                resilience.timeout_s,
-                resilience.max_retries,
-                resilience.backoff_base_s,
-                resilience.backoff_max_s,
-            )
-            inflight[future] = cell
-
-        def release_probe(cell, run_failed: bool):
-            """Unblock (or park) the cells held behind a probe."""
-            name = probes.pop(cell, None)
-            if name is None:
-                return
-            if run_failed and tracer is not None:
-                tracer.instant(
-                    "circuit_breaker_trip",
-                    cat=obs_trace.CAT_SUPERVISION,
-                    args={"benchmark": name, "technique": technique},
-                )
-            for follower in held.pop(name, []):
-                if run_failed:
-                    failure_map[follower] = _circuit_open_report(
-                        name, technique, follower[1]
-                    )
-                else:
-                    queue.append(follower)
-
-        def record_result(cell, metrics, failure):
-            name, seed = cell
-            if failure is not None:
-                failure_map[cell] = failure
-                release_probe(cell, run_failed=True)
-                return
-            results[cell] = metrics
-            cells[_cell_key(ordinal, name, technique, seed)] = asdict(metrics)
-            t_io = time.perf_counter()
-            self._save_cells(resilience)
-            timings["checkpoint_io"] += time.perf_counter() - t_io
-            release_probe(cell, run_failed=False)
-            if progress is not None:
-                progress(name, metrics)
-
-        def abandon_cell(cell, losses, detail):
-            failure_map[cell] = _worker_lost_report(
-                cell[0], technique, cell[1], losses, detail
-            )
-            release_probe(cell, run_failed=False)
-
-        def handle_lost_cells():
-            """Requeue (or park) cells whose worker died; rebuild the pool."""
-            nonlocal executor, pool_broken, rebuilds_left, lost_detail
-            lost, detail = list(lost_cells), lost_detail
-            lost_cells.clear()
-            lost_detail = ""
-            for cell in lost:
-                losses = lost_counts.get(cell, 0) + 1
-                lost_counts[cell] = losses
-                incidents.append(
-                    _worker_lost_report(
-                        cell[0], technique, cell[1], losses, detail
-                    )
-                )
-                if losses > resilience.max_worker_restarts:
-                    abandon_cell(
-                        cell,
-                        losses,
-                        f"abandoned after losing its worker {losses} time(s)"
-                        f" (budget {resilience.max_worker_restarts});"
-                        f" last incident: {detail}",
-                    )
-                else:
-                    queue.appendleft(cell)
-            if registry is not None:
-                registry.counter(
-                    "runner_worker_restarts_total",
-                    help="pool rebuilds after a lost or hung worker",
-                ).inc()
-            if tracer is not None:
-                tracer.instant(
-                    "pool_rebuild",
-                    cat=obs_trace.CAT_SUPERVISION,
-                    args={
-                        "lost_cells": len(lost),
-                        "detail": detail,
-                        "rebuilds_left": rebuilds_left - 1,
-                    },
-                )
-            rebuilds_left -= 1
-            self._shutdown_executor()
-            pool_broken = False
-            if rebuilds_left <= 0:
-                # Abandoning a probe releases its held cells into the
-                # queue; keep draining until nothing is left anywhere.
-                while queue:
-                    cell = queue.popleft()
-                    abandon_cell(
-                        cell, lost_counts.get(cell, 0),
-                        "worker-restart budget exhausted for the whole sweep",
-                    )
-            executor = self._ensure_executor(workers, heartbeat=heartbeat)
-
-        def drain_and_raise():
-            deadline = time.monotonic() + resilience.drain_deadline_s
-            while inflight and time.monotonic() < deadline:
-                done, _ = futures_wait(
-                    set(inflight), timeout=_SUPERVISOR_POLL_S,
-                    return_when=FIRST_COMPLETED,
-                )
-                for future in done:
-                    cell = inflight.pop(future)
-                    try:
-                        metrics, failure, telemetry = future.result()
-                    except BaseException:
-                        continue  # lost to the drain; --resume recomputes
-                    _merge_worker_telemetry(telemetry)
-                    if failure is None:
-                        name, seed = cell
-                        results[cell] = metrics
-                        cells[
-                            _cell_key(ordinal, name, technique, seed)
-                        ] = asdict(metrics)
-            for future in inflight:
-                future.cancel()
-            if inflight:  # still running past the deadline: kill the pool
-                self._kill_workers()
-            self._shutdown_executor()
-            pending_after = [
-                c for c in grid if c not in results and c not in failure_map
-            ]
-            raise self._drain_now(
-                resilience, technique, drain, len(results), pending_after
-            )
-
-        try:
-            while queue or inflight or any(held.values()):
-                if drain.is_set():
-                    drain_and_raise()
-                if not pool_broken:
-                    while queue and len(inflight) < 2 * workers:
-                        cell = queue.popleft()
-                        try:
-                            submit(cell)
-                        except BrokenProcessPool as error:
-                            # The pool broke between completions; recover
-                            # through the same lost-cell path.
-                            pool_broken = True
-                            lost_cells.append(cell)
-                            lost_detail = (
-                                f"worker pool broke at dispatch"
-                                f" ({type(error).__name__}: {error})"
-                            )
-                            break
-                if not inflight:
-                    # Held cells with no live probe would deadlock; the
-                    # bookkeeping above always resolves probes, so this is
-                    # pure belt-and-braces.
-                    if not queue:
-                        for name, followers in list(held.items()):
-                            queue.extend(followers)
-                            held.pop(name)
-                    continue
-                done, _ = futures_wait(
-                    set(inflight), timeout=_SUPERVISOR_POLL_S,
-                    return_when=FIRST_COMPLETED,
-                )
-                if not done:
-                    if heartbeat and not pool_broken:
-                        stale = self._stale_worker_pids(
-                            resilience.heartbeat_stale_s
-                        )
-                        for pid in stale:
-                            # Killing the worker breaks the pool; the
-                            # normal lost-cell path rebuilds and requeues.
-                            if tracer is not None:
-                                tracer.instant(
-                                    "heartbeat_stale_kill",
-                                    cat=obs_trace.CAT_SUPERVISION,
-                                    args={"pid": pid},
-                                )
-                            with contextlib.suppress(OSError):
-                                os.kill(pid, signal.SIGKILL)
-                    continue
-                for future in done:
-                    cell = inflight.pop(future)
-                    try:
-                        metrics, failure, telemetry = future.result()
-                    except BrokenProcessPool as error:
-                        # Hold the lost cell until the broken pool finishes
-                        # failing its remaining futures, then rebuild once.
-                        pool_broken = True
-                        lost_cells.append(cell)
-                        lost_detail = (
-                            f"worker process died mid-cell"
-                            f" ({type(error).__name__}: {error})"
-                        )
-                        continue
-                    _merge_worker_telemetry(telemetry)
-                    record_result(cell, metrics, failure)
-                if pool_broken and not inflight:
-                    handle_lost_cells()
-        except SweepInterrupted:
-            raise
-        except BaseException:
-            # A kill (or a progress-raised abort) must not strand queued
-            # work: unstarted cells are cancelled, in-flight results
-            # discarded.  The checkpoint holds everything completed so far.
-            for future in inflight:
-                future.cancel()
-            raise
 
 
 def summarize(

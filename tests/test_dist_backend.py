@@ -1,0 +1,170 @@
+"""End-to-end tests for the distributed sweep backend (repro.dist).
+
+The invariants under test are the ones ROADMAP.md promises for every
+backend: byte-identical aggregates against the sequential reference,
+checkpoints that resume across backends, graceful degradation (never a
+stalled or wrong sweep), and deterministic incident reporting when the
+network misbehaves.  Each test launches real worker subprocesses over
+the unix (or TCP) transport -- nothing is mocked.
+"""
+
+import dataclasses
+import json
+
+from repro.core import ResonanceTuningController
+from repro.faults.chaos import PartitionWorkerOnce
+from repro.sim import (
+    BenchmarkRunner,
+    ResilienceConfig,
+    SequentialBackend,
+    SweepConfig,
+    select_backend,
+)
+
+
+def tuning_factory(supply, processor):
+    """Module-level factory: picklable by reference into dist workers."""
+    return ResonanceTuningController(supply, processor)
+
+
+def fingerprint(summary):
+    return json.dumps(dataclasses.asdict(summary), sort_keys=True)
+
+
+SMALL = SweepConfig(n_cycles=2500, warmup_cycles=200)
+BENCHMARKS = ("swim", "parser")
+
+
+def dist_resilience(**overrides):
+    base = dict(workers=2, backend="dist", connect_deadline_s=30.0)
+    base.update(overrides)
+    return ResilienceConfig(**base)
+
+
+class TestDistEquivalence:
+    def test_dist_matches_sequential_byte_for_byte(self):
+        golden = BenchmarkRunner(SMALL).sweep(
+            tuning_factory, benchmarks=BENCHMARKS
+        )
+        dist = BenchmarkRunner(SMALL).sweep(
+            tuning_factory, benchmarks=BENCHMARKS,
+            resilience=dist_resilience(),
+        )
+        assert fingerprint(dist) == fingerprint(golden)
+        assert getattr(dist, "incidents", ()) == ()
+
+    def test_tcp_transport_matches_sequential(self):
+        golden = BenchmarkRunner(SMALL).sweep(
+            tuning_factory, benchmarks=("swim",)
+        )
+        dist = BenchmarkRunner(SMALL).sweep(
+            tuning_factory, benchmarks=("swim",),
+            resilience=dist_resilience(dist_transport="tcp"),
+        )
+        assert fingerprint(dist) == fingerprint(golden)
+
+    def test_dist_resumes_a_sequential_checkpoint(self, tmp_path):
+        """A sweep interrupted on one backend finishes on another."""
+        checkpoint = str(tmp_path / "sweep.json")
+        golden = BenchmarkRunner(SMALL).sweep(
+            tuning_factory, benchmarks=BENCHMARKS
+        )
+        # First leg: sequential, covering only the first benchmark.
+        BenchmarkRunner(SMALL).sweep(
+            tuning_factory, benchmarks=BENCHMARKS[:1],
+            resilience=ResilienceConfig(checkpoint_path=checkpoint),
+        )
+        # Second leg: distributed resume of the same checkpoint.
+        resumed = BenchmarkRunner(SMALL).sweep(
+            tuning_factory, benchmarks=BENCHMARKS,
+            resilience=dist_resilience(
+                checkpoint_path=checkpoint, resume=True
+            ),
+        )
+        assert fingerprint(resumed) == fingerprint(golden)
+
+
+class TestDistDegradation:
+    def test_degrades_when_no_worker_connects_in_time(self):
+        """An impossible connect deadline must not stall the sweep: the
+        scheduler falls back to a local backend, records a DistDegraded
+        incident, and still produces the golden aggregates."""
+        golden = BenchmarkRunner(SMALL).sweep(
+            tuning_factory, benchmarks=BENCHMARKS
+        )
+        degraded = BenchmarkRunner(SMALL).sweep(
+            tuning_factory, benchmarks=BENCHMARKS,
+            resilience=dist_resilience(connect_deadline_s=0.01),
+        )
+        assert fingerprint(degraded) == fingerprint(golden)
+        incidents = getattr(degraded, "incidents", ())
+        assert any(i.error_type == "DistDegraded" for i in incidents)
+
+    def test_main_bound_factory_degrades_to_sequential(self, monkeypatch):
+        """Factories living in __main__ cannot be imported by a fresh
+        worker interpreter; select_backend must degrade up front even
+        though such a factory pickles fine inside this process."""
+        import sys
+
+        def main_factory(supply, processor):  # pragma: no cover - not run
+            return ResonanceTuningController(supply, processor)
+
+        # Masquerade as a script-defined factory: pickling by reference
+        # resolves through sys.modules["__main__"], so it succeeds here
+        # and would only explode inside the worker.
+        main_factory.__module__ = "__main__"
+        main_factory.__qualname__ = "main_factory"
+        monkeypatch.setattr(
+            sys.modules["__main__"], "main_factory", main_factory,
+            raising=False,
+        )
+        runner = BenchmarkRunner(SMALL)
+        backend = select_backend(
+            runner, dist_resilience(), main_factory, n_pending=4
+        )
+        assert isinstance(backend, SequentialBackend)
+
+    def test_importable_factory_selects_distributed(self):
+        from repro.dist.backend import DistributedBackend
+
+        runner = BenchmarkRunner(SMALL)
+        backend = select_backend(
+            runner, dist_resilience(), tuning_factory, n_pending=4
+        )
+        assert isinstance(backend, DistributedBackend)
+
+
+class TestLeaseExpiryDeterminism:
+    def run_partitioned_sweep(self, tmp_path, tag):
+        """One sweep with a worker partitioned past its lease deadline."""
+        marker = str(tmp_path / f"partition-{tag}.marker")
+        transform = PartitionWorkerOnce(
+            marker, "swim", after_cycles=300, silence_s=2.5
+        )
+        runner = BenchmarkRunner(SMALL, supply_transform=transform)
+        return runner.sweep(
+            tuning_factory, benchmarks=BENCHMARKS,
+            resilience=dist_resilience(lease_timeout_s=0.75),
+        )
+
+    def test_expired_lease_requeues_deterministically(self, tmp_path):
+        """Same partition, same seed: the stolen cell is retried in the
+        same order and yields the same incident trail both times -- and
+        the aggregates still match an undisturbed sequential sweep."""
+        golden = BenchmarkRunner(SMALL).sweep(
+            tuning_factory, benchmarks=BENCHMARKS
+        )
+        first = self.run_partitioned_sweep(tmp_path, "a")
+        second = self.run_partitioned_sweep(tmp_path, "b")
+
+        assert fingerprint(first) == fingerprint(golden)
+        assert fingerprint(second) == fingerprint(golden)
+
+        def trail(summary):
+            return [
+                (i.error_type, i.benchmark)
+                for i in getattr(summary, "incidents", ())
+            ]
+
+        assert trail(first) == trail(second)
+        assert ("LeaseExpired", "swim") in trail(first)

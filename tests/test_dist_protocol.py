@@ -1,0 +1,157 @@
+"""Tests for the distributed wire protocol (repro.dist.protocol).
+
+Covers frame encode/decode round trips over a real socket pair, the
+incremental FrameBuffer under arbitrary segmentation, the hostile-input
+paths (oversized lengths, malformed JSON, untyped payloads, mid-frame
+EOF), and the base64/pickle blob helpers that carry binary payloads
+inside JSON frames.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.dist.protocol import (
+    MAX_FRAME_BYTES,
+    FrameBuffer,
+    decode_blob,
+    encode_blob,
+    encode_frame,
+    pickle_blob,
+    recv_message,
+    send_message,
+    unpickle_blob,
+)
+from repro.errors import DistributedError, HarnessError
+
+
+class TestFraming:
+    def test_encode_frame_layout(self):
+        frame = encode_frame({"type": "heartbeat"})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert frame[4:] == b'{"type":"heartbeat"}'
+
+    def test_encode_frame_is_canonical(self):
+        # sort_keys + tight separators: same dict, same bytes.
+        a = encode_frame({"b": 1, "a": 2, "type": "x"})
+        b = encode_frame({"type": "x", "a": 2, "b": 1})
+        assert a == b
+
+    def test_socket_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            messages = [
+                {"type": "hello", "pid": 1234},
+                {"type": "result", "metrics": None, "failure": {"x": 1.5}},
+            ]
+            writer = threading.Thread(
+                target=lambda: [send_message(left, m) for m in messages]
+            )
+            writer.start()
+            received = [recv_message(right), recv_message(right)]
+            writer.join()
+            assert received == messages
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_message(right) is None
+        finally:
+            right.close()
+
+    def test_eof_mid_frame_raises(self):
+        left, right = socket.socketpair()
+        try:
+            frame = encode_frame({"type": "hello"})
+            left.sendall(frame[:7])  # header + 3 payload bytes, then EOF
+            left.close()
+            with pytest.raises(DistributedError):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_oversize_length_prefix_rejected_before_allocation(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(DistributedError):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_untyped_payload_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            payload = b'{"no_type_field": 1}'
+            left.sendall(struct.pack(">I", len(payload)) + payload)
+            with pytest.raises(DistributedError):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_distributed_error_is_a_harness_error(self):
+        assert issubclass(DistributedError, HarnessError)
+
+
+class TestFrameBuffer:
+    def test_byte_at_a_time_segmentation(self):
+        frames = encode_frame({"type": "a"}) + encode_frame(
+            {"type": "b", "n": 7}
+        )
+        buffer = FrameBuffer()
+        seen = []
+        for i in range(len(frames)):
+            buffer.feed(frames[i:i + 1])
+            seen.extend(buffer.messages())
+        assert seen == [{"type": "a"}, {"type": "b", "n": 7}]
+
+    def test_incomplete_frame_yields_nothing(self):
+        frame = encode_frame({"type": "hello"})
+        buffer = FrameBuffer()
+        buffer.feed(frame[:-1])
+        assert list(buffer.messages()) == []
+        buffer.feed(frame[-1:])
+        assert list(buffer.messages()) == [{"type": "hello"}]
+
+    def test_oversize_length_poisons_stream(self):
+        buffer = FrameBuffer()
+        buffer.feed(struct.pack(">I", MAX_FRAME_BYTES + 1) + b"x")
+        with pytest.raises(DistributedError):
+            list(buffer.messages())
+
+    def test_malformed_json_poisons_stream(self):
+        payload = b"{not json"
+        buffer = FrameBuffer()
+        buffer.feed(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(DistributedError):
+            list(buffer.messages())
+
+    def test_untyped_message_poisons_stream(self):
+        payload = b"[1,2,3]"
+        buffer = FrameBuffer()
+        buffer.feed(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(DistributedError):
+            list(buffer.messages())
+
+
+class TestBlobs:
+    def test_bytes_round_trip(self):
+        data = bytes(range(256)) * 3
+        assert decode_blob(encode_blob(data)) == data
+
+    def test_invalid_base64_raises(self):
+        with pytest.raises(DistributedError):
+            decode_blob("!!! not base64 !!!")
+
+    def test_pickle_round_trip(self):
+        obj = {"cells": [("swim", 0), ("gzip", 3)], "tuning": 1.25}
+        assert unpickle_blob(pickle_blob(obj)) == obj

@@ -1,0 +1,138 @@
+"""Tests for lease bookkeeping in the distributed scheduler.
+
+The LeaseQueue is the determinism-critical core of the distributed
+backend: whatever the timing of worker failures, the order cells are
+retried must be a pure function of the grid order and the sequence of
+lease events.  These tests drive it directly with synthetic clocks --
+no sockets, no subprocesses.
+"""
+
+from repro.dist.scheduler import Lease, LeaseQueue
+
+GRID = [("swim", 0), ("swim", 1), ("parser", 0), ("gzip", 0)]
+INDEX = {cell: i for i, cell in enumerate(GRID)}
+
+
+def make_queue(cells=GRID):
+    return LeaseQueue(cells, INDEX)
+
+
+class TestLeaseLifecycle:
+    def test_lease_pops_pending_in_grid_order(self):
+        q = make_queue()
+        lease = q.lease("w0", now=0.0, timeout_s=10.0)
+        assert lease.cell == ("swim", 0)
+        assert lease.deadline == 10.0
+        assert q.pending == (("swim", 1), ("parser", 0), ("gzip", 0))
+        assert q.holder(("swim", 0)) == "w0"
+
+    def test_lease_on_empty_queue_returns_none(self):
+        q = make_queue(cells=[])
+        assert q.lease("w0", now=0.0, timeout_s=10.0) is None
+
+    def test_complete_clears_lease_and_marks_done(self):
+        q = make_queue(cells=GRID[:1])
+        q.lease("w0", now=0.0, timeout_s=10.0)
+        assert q.complete(("swim", 0), "w0") is True
+        assert q.is_completed(("swim", 0))
+        assert q.done
+
+    def test_duplicate_complete_returns_false(self):
+        q = make_queue(cells=GRID[:1])
+        q.lease("w0", now=0.0, timeout_s=10.0)
+        assert q.complete(("swim", 0), "w0") is True
+        assert q.complete(("swim", 0), "w0") is False
+
+    def test_renew_extends_only_the_holder(self):
+        q = make_queue()
+        q.lease("w0", now=0.0, timeout_s=5.0)
+        assert q.renew(("swim", 0), "w1", now=1.0, timeout_s=5.0) is False
+        assert q.renew(("swim", 0), "w0", now=4.0, timeout_s=5.0) is True
+        # renewed deadline is 9.0: nothing expires at t=8
+        assert q.expire(now=8.0) == []
+        assert [l.cell for l in q.expire(now=9.5)] == [("swim", 0)]
+
+    def test_park_abandons_a_cell_for_good(self):
+        q = make_queue(cells=GRID[:2])
+        q.lease("w0", now=0.0, timeout_s=5.0)
+        q.park(("swim", 0))
+        assert q.holder(("swim", 0)) is None
+        assert q.is_completed(("swim", 0))
+        assert q.pending == (("swim", 1),)
+
+
+class TestExpiryDeterminism:
+    def test_expired_leases_requeue_at_front_in_grid_order(self):
+        q = make_queue()
+        # Lease the first three cells; let all three expire together.
+        q.lease("w2", now=0.0, timeout_s=1.0)   # (swim, 0)
+        q.lease("w0", now=0.0, timeout_s=1.0)   # (swim, 1)
+        q.lease("w1", now=0.0, timeout_s=1.0)   # (parser, 0)
+        expired = q.expire(now=2.0)
+        assert [l.cell for l in expired] == GRID[:3]
+        # Stolen cells outrank the untouched tail, in grid order.
+        assert q.pending == (
+            ("swim", 0), ("swim", 1), ("parser", 0), ("gzip", 0)
+        )
+
+    def test_expiry_order_is_independent_of_lease_order(self):
+        orders = [("w0", "w1", "w2"), ("w2", "w1", "w0")]
+        requeues = []
+        for workers in orders:
+            q = make_queue()
+            for worker_id in workers:
+                q.lease(worker_id, now=0.0, timeout_s=1.0)
+            q.expire(now=2.0)
+            requeues.append(q.pending)
+        assert requeues[0] == requeues[1]
+
+    def test_unexpired_leases_survive(self):
+        q = make_queue()
+        q.lease("w0", now=0.0, timeout_s=1.0)
+        q.lease("w1", now=0.0, timeout_s=100.0)
+        expired = q.expire(now=2.0)
+        assert [l.cell for l in expired] == [("swim", 0)]
+        assert q.holder(("swim", 1)) == "w1"
+
+    def test_late_result_after_expiry_is_accepted_once(self):
+        q = make_queue(cells=GRID[:1])
+        q.lease("w0", now=0.0, timeout_s=1.0)
+        q.expire(now=2.0)
+        # The original holder's result lands after the steal: the cell is
+        # still uncompleted, so the (deterministic) result is accepted and
+        # the requeued copy is withdrawn.
+        assert q.complete(("swim", 0), "w0") is True
+        assert q.pending == ()
+        # The stolen re-run finishing later is the duplicate.
+        assert q.complete(("swim", 0), "w1") is False
+
+
+class TestWorkerRelease:
+    def test_release_worker_steals_only_its_leases_in_grid_order(self):
+        q = make_queue()
+        q.lease("w0", now=0.0, timeout_s=50.0)  # (swim, 0)
+        q.lease("w1", now=0.0, timeout_s=50.0)  # (swim, 1)
+        q.lease("w0", now=0.0, timeout_s=50.0)  # (parser, 0)
+        stolen = q.release_worker("w0")
+        assert [l.cell for l in stolen] == [("swim", 0), ("parser", 0)]
+        assert q.pending == (("swim", 0), ("parser", 0), ("gzip", 0))
+        assert q.holder(("swim", 1)) == "w1"
+
+    def test_release_worker_with_no_leases_is_a_noop(self):
+        q = make_queue()
+        assert q.release_worker("w9") == []
+        assert q.pending == tuple(GRID)
+
+
+class TestLeaseValue:
+    def test_lease_is_frozen_and_carries_grid_index(self):
+        lease = Lease(
+            cell=("gzip", 0), worker_id="w0", deadline=3.0, grid_index=3
+        )
+        assert lease.grid_index == 3
+        try:
+            lease.deadline = 99.0
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("Lease should be immutable")

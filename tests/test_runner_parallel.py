@@ -234,7 +234,19 @@ class TestFallbacks:
 
     def test_workers_validation(self):
         with pytest.raises(ConfigurationError):
-            ResilienceConfig(workers=0)
+            ResilienceConfig(workers=-1)
+
+    def test_zero_workers_runs_sequentially_on_auto(self):
+        # 0 = "no local workers": meaningful for the distributed backend
+        # (external workers only); on auto it degrades to sequential.
+        with BenchmarkRunner(SMALL) as runner:
+            summary = runner.sweep(
+                tuning_factory,
+                benchmarks=("gzip",),
+                resilience=ResilienceConfig(workers=0),
+            )
+        assert summary.timings["workers"] == 1.0
+        assert runner._executor is None
 
 
 # ----------------------------------------------------------------------

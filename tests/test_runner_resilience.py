@@ -78,6 +78,57 @@ class TestResilienceConfigValidation:
         with pytest.raises(ConfigurationError):
             BenchmarkRunner(SMALL, max_base_cache_entries=0)
 
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(workers=-1)
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(backoff_base_s=-0.5)
+
+    def test_rejects_non_positive_heartbeat_staleness(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(heartbeat_stale_s=0)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(backend="carrier-pigeon")
+
+    def test_rejects_non_positive_lease_timeout(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(lease_timeout_s=0)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(lease_timeout_s=-1.0)
+
+    def test_rejects_zero_quarantine_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(quarantine_failures=0)
+
+    def test_rejects_non_positive_connect_deadline(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(connect_deadline_s=0)
+
+    def test_rejects_unknown_dist_transport(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(dist_transport="infiniband")
+
+    def test_dist_validation_error_is_a_harness_error(self):
+        from repro.errors import HarnessError
+
+        with pytest.raises(HarnessError) as caught:
+            ResilienceConfig(backend="nope")
+        # The message must name the knob and the offending value.
+        assert "backend" in str(caught.value)
+        assert "nope" in str(caught.value)
+
+    def test_valid_dist_config_constructs(self):
+        config = ResilienceConfig(
+            backend="dist", workers=2, lease_timeout_s=5.0,
+            quarantine_failures=1, connect_deadline_s=0.5,
+            dist_transport="tcp",
+        )
+        assert config.backend == "dist"
+
 
 # ----------------------------------------------------------------------
 # Base-run cache bound
@@ -360,6 +411,65 @@ class TestCheckpointResume:
             _cell_key(0, "swim", "resonance-tuning", None),
             _cell_key(1, "swim", "resonance-tuning", None),
         }
+
+
+# ----------------------------------------------------------------------
+# Empty / zero-byte checkpoint salvage
+# ----------------------------------------------------------------------
+
+class TestEmptyCheckpointSalvage:
+    """A checkpoint truncated to nothing (crash during the very first
+    durable write, or a filesystem that zeroed the file) must never be
+    mistaken for valid state -- and must never block a resume either."""
+
+    def test_zero_byte_checkpoint_raises_without_salvage(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        path = tmp_path / "ck.json"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_whitespace_only_checkpoint_raises_without_salvage(
+        self, tmp_path
+    ):
+        from repro.errors import CheckpointError
+
+        path = tmp_path / "ck.json"
+        path.write_text("   \n\n  ")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_salvage_of_zero_byte_checkpoint_quarantines_it(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_bytes(b"")
+        with pytest.warns(RuntimeWarning, match="salvaged 0"):
+            data = load_checkpoint(str(path), salvage=True)
+        assert data["salvaged"] is True
+        assert data["cells"] == {}
+        # The empty original moved aside; the path is free for a clean write.
+        assert not path.exists()
+        assert (tmp_path / "ck.json.corrupt-0").exists()
+
+    def test_resume_from_zero_byte_checkpoint_recomputes_everything(
+        self, tmp_path
+    ):
+        path = tmp_path / "ck.json"
+        path.write_bytes(b"")
+        golden = BenchmarkRunner(SMALL).sweep(
+            tuning_factory, benchmarks=("swim",)
+        )
+        with pytest.warns(RuntimeWarning):
+            resumed = BenchmarkRunner(SMALL).sweep(
+                tuning_factory,
+                benchmarks=("swim",),
+                resilience=ResilienceConfig(
+                    checkpoint_path=str(path), resume=True
+                ),
+            )
+        assert summary_fingerprint(resumed) == summary_fingerprint(golden)
+        # And the rewritten checkpoint is whole again.
+        assert len(load_checkpoint(str(path))["cells"]) == 1
 
 
 # ----------------------------------------------------------------------

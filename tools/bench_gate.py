@@ -1,0 +1,104 @@
+"""Perf-trajectory gate for the sweep backends (ROADMAP item 1).
+
+Compares a freshly measured ``BENCH_sweep.json`` (written by
+``benchmarks/bench_sweep_parallel.py``) against the committed baseline
+in ``benchmarks/baselines/BENCH_sweep.json`` and fails when any
+backend's throughput (cells/s) regressed by more than the tolerance.
+
+Absolute throughput shifts with the host, so alongside the per-backend
+check the gate also compares each fan-out backend's *speedup over the
+same run's sequential leg* -- a machine-independent signal that the
+scheduler itself (dispatch, leases, IPC) got slower.  Regenerate the
+baseline on a quiet machine with::
+
+    PYTHONPATH=src BENCH_SWEEP_OUT=benchmarks/baselines/BENCH_sweep.json \
+        python -m pytest benchmarks/bench_sweep_parallel.py --benchmark-only -q
+
+Usage::
+
+    python tools/bench_gate.py CURRENT [--baseline PATH] [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks" / "baselines" / "BENCH_sweep.json"
+)
+
+
+def speedups(report):
+    """Per-backend speedup over the same run's sequential leg."""
+    backends = report["backends"]
+    sequential = backends.get("sequential", {}).get("cells_per_s")
+    if not sequential:
+        return {}
+    return {
+        label: entry["cells_per_s"] / sequential
+        for label, entry in backends.items()
+        if label != "sequential"
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly measured BENCH_sweep.json")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="maximum fractional regression before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(pathlib.Path(args.current).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    floor = 1.0 - args.tolerance
+    problems = []
+
+    print(f"{'backend':12s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
+    for label, base_entry in sorted(baseline["backends"].items()):
+        cur_entry = current["backends"].get(label)
+        if cur_entry is None:
+            problems.append(f"backend {label!r} missing from current report")
+            continue
+        base_rate, cur_rate = (
+            base_entry["cells_per_s"], cur_entry["cells_per_s"]
+        )
+        ratio = cur_rate / base_rate if base_rate else float("inf")
+        print(f"{label:12s} {base_rate:9.1f}c/s {cur_rate:9.1f}c/s"
+              f" {ratio:6.2f}x")
+        if ratio < floor:
+            problems.append(
+                f"{label}: throughput {cur_rate:.1f} cells/s is"
+                f" {(1 - ratio) * 100:.0f}% below baseline"
+                f" {base_rate:.1f} (tolerance {args.tolerance * 100:.0f}%)"
+            )
+
+    base_speedups, cur_speedups = speedups(baseline), speedups(current)
+    for label, base_speedup in sorted(base_speedups.items()):
+        cur_speedup = cur_speedups.get(label)
+        if cur_speedup is None:
+            continue
+        ratio = cur_speedup / base_speedup if base_speedup else float("inf")
+        print(f"{label:12s} speedup {base_speedup:5.2f}x -> {cur_speedup:5.2f}x"
+              f" ({ratio:.2f} of baseline)")
+        if ratio < floor:
+            problems.append(
+                f"{label}: speedup over sequential fell to"
+                f" {cur_speedup:.2f}x from {base_speedup:.2f}x"
+            )
+
+    if problems:
+        print("\nPERF GATE FAILED")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

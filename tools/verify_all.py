@@ -50,6 +50,25 @@ print(f"byte-identical aggregates: {match}  ({time.time()-t2:.0f}s)")
 if not match:
     raise SystemExit("parallel backend diverged from sequential results")
 
+print("\n--- distributed backend equivalence (dist vs sequential) ---")
+t2b = time.time()
+# The dist workers are fresh interpreters, so the factory must pickle by
+# reference to an importable module -- chaos.py's, not this script's
+# __main__ (tools/ is sys.path[0] when this runs as a script).
+import chaos as chaos_mod
+dist_sequential = BenchmarkRunner(SweepConfig(n_cycles=6000)).sweep(
+    chaos_mod.tuning_factory, benchmarks=TRIO
+)
+with BenchmarkRunner(SweepConfig(n_cycles=6000)) as dist_runner:
+    dist = dist_runner.sweep(
+        chaos_mod.tuning_factory, benchmarks=TRIO,
+        resilience=ResilienceConfig(workers=2, backend="dist"),
+    )
+dist_match = fingerprint(dist_sequential) == fingerprint(dist)
+print(f"byte-identical aggregates: {dist_match}  ({time.time()-t2b:.0f}s)")
+if not dist_match:
+    raise SystemExit("distributed backend diverged from sequential results")
+
 print("\n--- chaos harness (quick): disturbed sweeps converge on --resume ---")
 t3 = time.time()
 import pathlib, subprocess, sys
