@@ -25,6 +25,23 @@ class CurrentHistoryRegister:
     ``quarter_diff(q)`` returns ``sum(last q cycles) - sum(previous q
     cycles)``: positive when current rose (a low-to-high transition),
     negative when it fell.
+
+    The ring stores running cumulative sums, so after millions of cycles
+    at tens of amps an unbounded total would dwarf any quarter-period
+    window and ``quarter_diff``'s cancellation would eat the low bits.
+    Two measures keep the comparison at window precision forever:
+
+    * every time the ring wraps, the oldest retained cumulative value is
+      subtracted from every slot (*re-anchoring*), so stored magnitudes
+      stay at window scale rather than trace scale;
+    * each slot carries a Neumaier compensation term absorbing the
+      rounding of its append (and of the re-anchor subtraction), and
+      ``quarter_diff`` folds the compensation differences back in.
+
+    Both are exact no-ops on exactly representable traces (e.g. the
+    dyadic sensor grid the conformance goldens use): every addition is
+    then exact, the compensation terms stay identically zero, and the
+    returned bits match the plain running-sum implementation.
     """
 
     def __init__(self, max_quarter_period: int):
@@ -37,14 +54,53 @@ class CurrentHistoryRegister:
         self._size = size
         self._mask = size - 1
         self._cumsum = [0.0] * size
+        self._comp = [0.0] * size
         self._cycles_seen = 0
 
     def append(self, current_amps: float) -> None:
         """Record one cycle's sensed current."""
         index = self._cycles_seen & self._mask
-        previous = self._cumsum[(self._cycles_seen - 1) & self._mask]
-        self._cumsum[index] = previous + current_amps
+        if index == 0 and self._cycles_seen:
+            self._reanchor()
+        previous_index = (self._cycles_seen - 1) & self._mask
+        previous = self._cumsum[previous_index]
+        total = previous + current_amps
+        # TwoSum error term of ``previous + current_amps`` (exact under
+        # round-to-nearest); zero whenever the addition was exact.
+        if (previous if previous >= 0.0 else -previous) >= (
+            current_amps if current_amps >= 0.0 else -current_amps
+        ):
+            error = (previous - total) + current_amps
+        else:
+            error = (current_amps - total) + previous
+        self._cumsum[index] = total
+        self._comp[index] = self._comp[previous_index] + error
         self._cycles_seen += 1
+
+    def _reanchor(self) -> None:
+        """Subtract the oldest retained cumulative value from every slot.
+
+        Runs once per ring wrap (amortized O(1) per append), right before
+        slot 0 -- the oldest value, deterministically -- is overwritten.
+        Differences between slots are untouched, so ``quarter_diff`` is
+        unaffected except that stored magnitudes drop back to window
+        scale; each slot's subtraction rounding goes to its compensation
+        term, and is zero when the subtraction was exact.
+        """
+        anchor = self._cumsum[0]
+        if anchor == 0.0:
+            return
+        cumsum, comp = self._cumsum, self._comp
+        abs_anchor = anchor if anchor >= 0.0 else -anchor
+        for slot in range(self._size):
+            value = cumsum[slot]
+            shifted = value - anchor
+            if (value if value >= 0.0 else -value) >= abs_anchor:
+                error = (value - shifted) - anchor
+            else:
+                error = ((-anchor) - shifted) + value
+            cumsum[slot] = shifted
+            comp[slot] += error
 
     @property
     def cycles_seen(self) -> int:
@@ -65,11 +121,19 @@ class CurrentHistoryRegister:
         newest = (self._cycles_seen - 1) & self._mask
         mid = (self._cycles_seen - 1 - quarter_period) & self._mask
         oldest = (self._cycles_seen - 1 - 2 * quarter_period) & self._mask
-        return (
+        base = (
             self._cumsum[newest]
             - 2.0 * self._cumsum[mid]
             + self._cumsum[oldest]
         )
+        correction = (
+            self._comp[newest]
+            - 2.0 * self._comp[mid]
+            + self._comp[oldest]
+        )
+        # ``correction`` is identically 0.0 on exactly representable
+        # traces, leaving ``base`` bit-for-bit unchanged there.
+        return base + correction
 
 
 class EventHistoryRegister:

@@ -65,6 +65,17 @@ class HeunIntegrator:
             voltage=-self._r * cpu_current, inductor_current=cpu_current
         )
 
+    def coefficients(self) -> "tuple[float, float, float, float, int]":
+        """``(dt, 1/C, 1/L, R, substeps)`` exactly as the step loop uses them.
+
+        Public access for the vectorized cycle kernel
+        (``repro.core.kernel``), which must replay the recurrence with
+        bit-identical constants rather than re-deriving them from the
+        config (a second ``1.0 / C`` is equal here, but the contract is
+        "the same float objects the scalar loop multiplies by").
+        """
+        return self._dt, self._inv_c, self._inv_l, self._r, self.substeps
+
     def _derivatives(self, voltage: float, inductor_current: float, cpu_current: float):
         dv = (inductor_current - cpu_current) * self._inv_c
         di = (-voltage - self._r * inductor_current) * self._inv_l

@@ -144,7 +144,17 @@ class PowerSupply:
         return voltage
 
     def run(self, currents: Iterable[float]) -> np.ndarray:
-        """Step through a whole current waveform; return the voltage waveform."""
+        """Step through a whole current waveform; return the voltage waveform.
+
+        Delegates to the vectorized cycle kernel (bit-identical to the
+        per-cycle ``step`` loop, including error and bookkeeping
+        semantics) unless ``REPRO_KERNEL=0`` disables it or a subclass
+        overrides ``step``.
+        """
+        from repro.core import kernel as core_kernel
+
+        if core_kernel.kernel_enabled() and type(self) is PowerSupply:
+            return core_kernel.run_supply(self, list(currents))
         return np.asarray([self.step(current) for current in currents])
 
     @property

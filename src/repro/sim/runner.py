@@ -1207,6 +1207,66 @@ class BenchmarkRunner:
         """Drop all cached base runs (they are recomputed on demand)."""
         self._base_cache.clear()
 
+    def prefetch_base_batch(
+        self,
+        cells: Sequence[Tuple[str, Optional[int]]],
+        timeout_s: Optional[float] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Warm the base-run cache for several ``(benchmark, seed)`` cells.
+
+        Hands all uncached lanes to :func:`repro.sim.simulation.run_batch`
+        so the vectorized cycle kernel advances their supplies together in
+        one lane-batched call.  Results are bit-identical to ``run_base``
+        (the kernel is gated by the goldens), so this is purely a cache
+        warmer: lanes that fail, time out, or are skipped are simply left
+        uncached and fall back to the scalar ``run_base`` path -- where
+        their error (if any) reproduces under the cell's normal
+        retry/timeout policy.
+
+        Returns the number of cells newly cached.  No-ops (returns 0) when
+        a supply transform is installed (transformed supplies may override
+        ``step``), when the kernel is disabled, or when fewer than two
+        lanes actually need running.
+        """
+        from repro.core import kernel as core_kernel
+        from repro.sim.simulation import run_batch
+
+        if self.supply_transform is not None or not core_kernel.kernel_enabled():
+            return 0
+        pending = []
+        seen = set()
+        for benchmark, seed in cells:
+            key = self._base_key(benchmark, seed)
+            if key in self._base_cache or key in seen:
+                continue
+            seen.add(key)
+            pending.append((key, benchmark, seed))
+        if len(pending) < 2:
+            return 0
+        simulations = [
+            self._build_simulation(benchmark, NullController(), seed=seed)
+            for _key, benchmark, seed in pending
+        ]
+        guard = None
+        if timeout_s is not None:
+            guard = lambda fn: _call_with_timeout(fn, timeout_s)
+        outcomes = run_batch(
+            simulations,
+            self.config.n_cycles,
+            guard=guard,
+            should_stop=should_stop,
+        )
+        cached = 0
+        for (key, _benchmark, _seed), outcome in zip(pending, outcomes):
+            if isinstance(outcome, SimulationResult):
+                self._base_cache[key] = outcome
+                self._base_cache.move_to_end(key)
+                cached += 1
+        while len(self._base_cache) > self.max_base_cache_entries:
+            self._base_cache.popitem(last=False)
+        return cached
+
     def run_technique(
         self,
         benchmark: str,

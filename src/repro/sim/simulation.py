@@ -11,8 +11,9 @@ actuation delays.
 from __future__ import annotations
 
 import contextlib
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
+from repro.core import kernel as core_kernel
 from repro.core.controller import NoiseController, NullController
 from repro.errors import SimulationError
 from repro.obs import metrics
@@ -21,7 +22,7 @@ from repro.power.supply import PowerSupply
 from repro.sim.metrics import SimulationResult
 from repro.uarch.processor import Processor
 
-__all__ = ["Simulation"]
+__all__ = ["Simulation", "run_batch"]
 
 
 class Simulation:
@@ -62,56 +63,162 @@ class Simulation:
             raise SimulationError("a Simulation object runs exactly once")
         self._ran = True
 
+        # Let the power model convert amps to joules.
+        self.processor.power.attach_supply(
+            self.supply.config.vdd_volts, self.supply.config.cycle_seconds
+        )
+
+        with contextlib.ExitStack() as stack:
+            self._enter_run_span(stack, n_cycles)
+            if self.kernel_eligible():
+                stage = self._kernel_collect(n_cycles)
+                snapshot = self._kernel_advance_supply(stage)
+            else:
+                snapshot = self._scalar_cycle_loop(n_cycles)
+
+        return self._assemble_result(snapshot, n_cycles)
+
+    def _enter_run_span(self, stack: contextlib.ExitStack, n_cycles: int) -> None:
+        tracer = obs_trace.active_tracer()
+        if tracer is not None:
+            stack.enter_context(tracer.span(
+                f"run {self.benchmark}",
+                cat=obs_trace.CAT_SIM,
+                args={
+                    "benchmark": self.benchmark,
+                    "technique": self.controller.name,
+                    "n_cycles": n_cycles,
+                    "warmup_cycles": self.warmup_cycles,
+                },
+            ))
+
+    # ------------------------------------------------------------------
+    # Scalar cycle loop (reference semantics; always available via
+    # REPRO_KERNEL=0 and for every feedback controller)
+    # ------------------------------------------------------------------
+    def _scalar_cycle_loop(self, n_cycles: int) -> dict:
         processor = self.processor
         supply = self.supply
         controller = self.controller
         record = self.record
-        # Let the power model convert amps to joules.
-        processor.power.attach_supply(
-            supply.config.vdd_volts, supply.config.cycle_seconds
+        snapshot = self._snapshot()
+        for cycle in range(self.warmup_cycles + n_cycles):
+            if cycle == self.warmup_cycles:
+                # Steady state starts here: warmup transients must
+                # neither pin first_violation_cycle nor merge a
+                # boundary-spanning violation into a warmup-started
+                # event.
+                reset_tracking = getattr(
+                    supply, "reset_violation_tracking", None
+                )
+                if reset_tracking is not None:
+                    reset_tracking()
+                snapshot = self._snapshot()
+            directives = controller.directives(cycle)
+            stats = processor.step(directives)
+            voltage = supply.step(stats.current_amps)
+            controller.observe(cycle, stats.current_amps, voltage, stats)
+            if record and cycle >= self.warmup_cycles:
+                self.currents.append(stats.current_amps)
+                self.voltages.append(voltage)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Kernel fast path (repro.core.kernel): run the processor trace
+    # first, then advance the supply in bulk -- bit-identical to the
+    # scalar loop for feedback-free controllers.
+    # ------------------------------------------------------------------
+    def kernel_eligible(self) -> bool:
+        """Can this run take the vectorized kernel fast path?
+
+        Requires the kernel to be enabled (``REPRO_KERNEL``), a
+        controller that declares :attr:`NoiseController.feedback_free`,
+        and a plain :class:`PowerSupply` (subclasses may override
+        ``step`` and must get the scalar loop).
+        """
+        return (
+            core_kernel.kernel_enabled()
+            and getattr(self.controller, "feedback_free", False)
+            and type(self.supply) is PowerSupply
         )
 
-        tracer = obs_trace.active_tracer()
-        with contextlib.ExitStack() as stack:
-            if tracer is not None:
-                stack.enter_context(tracer.span(
-                    f"run {self.benchmark}",
-                    cat=obs_trace.CAT_SIM,
-                    args={
-                        "benchmark": self.benchmark,
-                        "technique": controller.name,
-                        "n_cycles": n_cycles,
-                        "warmup_cycles": self.warmup_cycles,
-                    },
-                ))
-            snapshot = self._snapshot()
-            for cycle in range(self.warmup_cycles + n_cycles):
-                if cycle == self.warmup_cycles:
-                    # Steady state starts here: warmup transients must
-                    # neither pin first_violation_cycle nor merge a
-                    # boundary-spanning violation into a warmup-started
-                    # event.
-                    reset_tracking = getattr(
-                        supply, "reset_violation_tracking", None
-                    )
-                    if reset_tracking is not None:
-                        reset_tracking()
-                    snapshot = self._snapshot()
-                directives = controller.directives(cycle)
-                stats = processor.step(directives)
-                voltage = supply.step(stats.current_amps)
-                controller.observe(cycle, stats.current_amps, voltage, stats)
-                if record and cycle >= self.warmup_cycles:
-                    self.currents.append(stats.current_amps)
-                    self.voltages.append(voltage)
+    def _kernel_collect(self, n_cycles: int):
+        """Stage 1: run the processor trace and capture the currents.
 
+        The processor is still stepped cycle by cycle (its pipeline is
+        inherently serial), but the supply and controller are out of the
+        loop entirely.  Returns the staged currents, the per-cycle stats
+        (only when the controller wants ``observe`` calls) and the
+        warmup-boundary snapshot with its supply fields still pending.
+        """
+        controller = self.controller
+        warmup = self.warmup_cycles
+        directives_of = controller.directives
+        step = self.processor.step
+        currents: list = []
+        stage_current = currents.append
+        # NullController.observe is a stateless no-op; skipping it (and
+        # the per-cycle stats retention) is free.
+        stats_log = None if type(controller) is NullController else []
+        snapshot = self._snapshot()
+        for cycle in range(warmup + n_cycles):
+            if cycle == warmup:
+                snapshot = self._snapshot()
+            stats = step(directives_of(cycle))
+            stage_current(stats.current_amps)
+            if stats_log is not None:
+                stats_log.append(stats)
+        return currents, stats_log, snapshot
+
+    def _kernel_advance_supply(self, stage) -> dict:
+        """Stage 2: bulk supply advance, split at the warmup boundary.
+
+        Exactly mirrors the scalar loop: the warmup prefix rings the
+        supply, the violation tracking resets at the boundary, the
+        boundary snapshot picks up the supply counters as of that reset,
+        and only then does the measured region run.
+        """
+        currents, _, _ = stage
+        warm_volts = core_kernel.run_supply(
+            self.supply, currents[:self.warmup_cycles]
+        )
+        snapshot = self._kernel_boundary(stage)
+        measured_volts = core_kernel.run_supply(
+            self.supply, currents[self.warmup_cycles:]
+        )
+        self._kernel_deliver(stage, warm_volts, measured_volts)
+        return snapshot
+
+    def _kernel_boundary(self, stage) -> dict:
+        """Warmup-boundary bookkeeping once the warmup prefix has run."""
+        _, _, snapshot = stage
+        supply = self.supply
+        supply.reset_violation_tracking()
+        snapshot["violation_cycles"] = supply.violation_cycles
+        snapshot["violation_events"] = supply.violation_events
+        return snapshot
+
+    def _kernel_deliver(self, stage, warm_volts, measured_volts) -> None:
+        """Late ``observe`` delivery and trace recording for a kernel run."""
+        currents, stats_log, _ = stage
+        warmup = self.warmup_cycles
+        if stats_log is not None:
+            observe = self.controller.observe
+            voltages = warm_volts.tolist() + measured_volts.tolist()
+            for cycle, (amps, stats) in enumerate(zip(currents, stats_log)):
+                observe(cycle, amps, voltages[cycle], stats)
+        if self.record:
+            self.currents.extend(currents[warmup:])
+            self.voltages.extend(measured_volts.tolist())
+
+    def _assemble_result(self, snapshot: dict, n_cycles: int) -> SimulationResult:
         end = self._snapshot()
         # The technique's own hardware energy (Section 4.1 charges tuning's
         # detection hardware this way) counts against it.
-        overhead = controller.overhead_energy_joules(n_cycles)
+        overhead = self.controller.overhead_energy_joules(n_cycles)
         result = SimulationResult(
             benchmark=self.benchmark,
-            technique=controller.name,
+            technique=self.controller.name,
             cycles=n_cycles,
             instructions=end["instructions"] - snapshot["instructions"],
             energy_joules=end["energy"] - snapshot["energy"] + overhead,
@@ -196,3 +303,99 @@ class Simulation:
             "first_level": fractions.get("first_level_cycles", 0),
             "second_level": fractions.get("second_level_cycles", 0),
         }
+
+
+# ----------------------------------------------------------------------
+# Batched sweep entry point (ROADMAP item 1c): several independent
+# simulations advanced with their supply lanes batched through
+# repro.core.kernel.run_supply_batch.
+# ----------------------------------------------------------------------
+def run_batch(
+    simulations: Sequence[Simulation],
+    n_cycles: int,
+    guard=None,
+    should_stop=None,
+) -> List[Union[SimulationResult, BaseException, None]]:
+    """Run several simulations, batching the supply advance across lanes.
+
+    Every result is bit-identical to what ``simulations[i].run(n_cycles)``
+    would have produced: the per-lane processor traces still run
+    serially (the pipeline is inherently sequential), but the Heun
+    supply recurrences of all lanes advance together through NumPy
+    elementwise ops, which are IEEE-identical per lane to the scalar
+    recurrence.
+
+    Per-lane outcomes, index-aligned with ``simulations``:
+
+    * a :class:`SimulationResult` on success;
+    * the raised exception if that lane failed (the other lanes keep
+      going) -- the same exception ``run`` would have raised;
+    * ``None`` if ``should_stop`` interrupted the batch before the lane
+      started (such simulations remain fresh and runnable).
+
+    ``guard`` optionally wraps each lane's trace-collection stage (the
+    dominant cost) -- the sweep runner passes its per-cell timeout
+    enforcement here.  Lanes whose controller closes a feedback loop (or
+    with the kernel disabled) fall back to their own ``run``.
+    """
+    outcomes: List[Union[SimulationResult, BaseException, None]]
+    outcomes = [None] * len(simulations)
+    staged = []  # (lane, sim, stage)
+    for lane, sim in enumerate(simulations):
+        if should_stop is not None and should_stop():
+            break
+        try:
+            if n_cycles <= 0:
+                raise SimulationError("n_cycles must be positive")
+            if sim._ran:
+                raise SimulationError("a Simulation object runs exactly once")
+            if not sim.kernel_eligible():
+                outcomes[lane] = sim.run(n_cycles)
+                continue
+            sim._ran = True
+            sim.processor.power.attach_supply(
+                sim.supply.config.vdd_volts, sim.supply.config.cycle_seconds
+            )
+            with contextlib.ExitStack() as stack:
+                sim._enter_run_span(stack, n_cycles)
+                if guard is None:
+                    stage = sim._kernel_collect(n_cycles)
+                else:
+                    stage = guard(lambda s=sim: s._kernel_collect(n_cycles))
+            staged.append((lane, sim, stage))
+        except Exception as exc:
+            outcomes[lane] = exc
+
+    # Lanes must share a trace length to stack; group by warmup split.
+    by_warmup: dict = {}
+    for item in staged:
+        by_warmup.setdefault(item[1].warmup_cycles, []).append(item)
+
+    for warmup, group in sorted(by_warmup.items()):
+        warm_volts = core_kernel.run_supply_batch(
+            [sim.supply for _, sim, _ in group],
+            [stage[0][:warmup] for _, _, stage in group],
+        )
+        survivors = []
+        for (lane, sim, stage), warm in zip(group, warm_volts):
+            if isinstance(warm, BaseException):
+                outcomes[lane] = warm
+                continue
+            snapshot = sim._kernel_boundary(stage)
+            survivors.append((lane, sim, stage, warm, snapshot))
+        measured_volts = core_kernel.run_supply_batch(
+            [sim.supply for _, sim, _, _, _ in survivors],
+            [stage[0][warmup:] for _, _, stage, _, _ in survivors],
+        )
+        for (lane, sim, stage, warm, snapshot), measured in zip(
+            survivors, measured_volts
+        ):
+            if isinstance(measured, BaseException):
+                outcomes[lane] = measured
+                continue
+            try:
+                sim._kernel_deliver(stage, warm, measured)
+                outcomes[lane] = sim._assemble_result(snapshot, n_cycles)
+            except Exception as exc:  # pragma: no cover - defensive
+                outcomes[lane] = exc
+    return outcomes

@@ -1,0 +1,146 @@
+"""Unit tests for tools/bench_gate.py (perf-gate hardening).
+
+Regression coverage for two silent-pass bugs:
+
+* a report whose sequential leg was missing or recorded zero throughput
+  made ``speedups()`` return ``{}``, so the machine-independent speedup
+  check silently never ran;
+* a zero/missing baseline rate produced ``ratio = inf``, which sails
+  over any floor -- a corrupt baseline passed the gate instead of
+  failing it.
+
+Both must now be hard gate failures with messages naming the problem.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+
+
+def _load_bench_gate():
+    spec = importlib.util.spec_from_file_location(
+        "bench_gate", _TOOLS / "bench_gate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_gate = _load_bench_gate()
+
+
+def _report(**backends):
+    return {
+        "schema": 1,
+        "backends": {
+            label: {"cells_per_s": rate, "wall_s": 1.0}
+            for label, rate in backends.items()
+        },
+    }
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def _run(tmp_path, current, baseline, capsys):
+    argv = [
+        _write(tmp_path, "current.json", current),
+        "--baseline",
+        _write(tmp_path, "baseline.json", baseline),
+    ]
+    code = bench_gate.main(argv)
+    return code, capsys.readouterr().out
+
+
+class TestSequentialLeg:
+    def test_healthy_reports_pass(self, tmp_path, capsys):
+        report = _report(sequential=4.0, pool=8.0)
+        code, out = _run(tmp_path, report, report, capsys)
+        assert code == 0
+        assert "perf gate passed" in out
+
+    def test_missing_sequential_in_current_fails(self, tmp_path, capsys):
+        baseline = _report(sequential=4.0, pool=8.0)
+        current = _report(pool=8.0)
+        code, out = _run(tmp_path, current, baseline, capsys)
+        assert code == 1
+        assert "PERF GATE FAILED" in out
+        assert "no 'sequential' backend leg" in out
+
+    def test_zero_sequential_rate_fails(self, tmp_path, capsys):
+        baseline = _report(sequential=4.0, pool=8.0)
+        current = _report(sequential=0.0, pool=8.0)
+        code, out = _run(tmp_path, current, baseline, capsys)
+        assert code == 1
+        assert "invalid throughput" in out
+
+    def test_missing_sequential_in_baseline_fails(self, tmp_path, capsys):
+        baseline = _report(pool=8.0)
+        current = _report(sequential=4.0, pool=8.0)
+        code, out = _run(tmp_path, current, baseline, capsys)
+        assert code == 1
+        assert "baseline report has no 'sequential' backend leg" in out
+
+    def test_speedups_raises_not_empty(self):
+        with pytest.raises(bench_gate.MalformedReport):
+            bench_gate.speedups({"backends": {"pool": {"cells_per_s": 8.0}}})
+        with pytest.raises(bench_gate.MalformedReport):
+            bench_gate.speedups(
+                {"backends": {"sequential": {"cells_per_s": 0.0}}}
+            )
+
+
+class TestBaselineRates:
+    def test_zero_baseline_rate_is_failure_not_inf(self, tmp_path, capsys):
+        baseline = _report(sequential=4.0, pool=0.0)
+        current = _report(sequential=4.0, pool=8.0)
+        code, out = _run(tmp_path, current, baseline, capsys)
+        assert code == 1
+        assert "not a positive number" in out
+        assert "baseline" in out
+
+    def test_missing_baseline_rate_is_failure(self, tmp_path, capsys):
+        baseline = _report(sequential=4.0, pool=8.0)
+        del baseline["backends"]["pool"]["cells_per_s"]
+        current = _report(sequential=4.0, pool=8.0)
+        code, out = _run(tmp_path, current, baseline, capsys)
+        assert code == 1
+        assert "not a positive number" in out
+
+    def test_zero_current_rate_is_failure(self, tmp_path, capsys):
+        baseline = _report(sequential=4.0, pool=8.0)
+        current = _report(sequential=4.0, pool=0.0)
+        code, out = _run(tmp_path, current, baseline, capsys)
+        assert code == 1
+        assert "did not produce a measurement" in out
+
+
+class TestRegression:
+    def test_throughput_regression_fails(self, tmp_path, capsys):
+        baseline = _report(sequential=4.0, pool=8.0)
+        current = _report(sequential=4.0, pool=4.0)
+        code, out = _run(tmp_path, current, baseline, capsys)
+        assert code == 1
+        assert "below baseline" in out
+
+    def test_within_tolerance_passes(self, tmp_path, capsys):
+        baseline = _report(sequential=4.0, pool=8.0)
+        current = _report(sequential=3.6, pool=7.2)
+        code, out = _run(tmp_path, current, baseline, capsys)
+        assert code == 0
+
+    def test_committed_sweep_baseline_self_gates(self, capsys):
+        baseline = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks" / "baselines" / "BENCH_sweep.json"
+        )
+        code = bench_gate.main([str(baseline), "--baseline", str(baseline)])
+        capsys.readouterr()
+        assert code == 0

@@ -101,6 +101,69 @@ class TestCurrentHistoryRegister:
             diffs.append(register.quarter_diff(4))
         assert min(diffs) <= 0.0
 
+    def test_long_trace_quarter_diff_stays_exact(self):
+        """Regression: the running sum must not lose the window's bits.
+
+        Before the re-anchoring + compensation fix, ``_cumsum`` grew
+        without bound (sum of every current ever appended), so after a
+        few hundred thousand cycles of ~100 A the window differences --
+        small numbers computed as differences of huge ones -- were off
+        by tens of thousands of ulps.  The fixed register must stay
+        within 1 ulp *of the window's absolute current sum* (the
+        smallest scale the subtraction can be carried out at) no matter
+        how long the trace runs.
+        """
+        import math
+
+        import numpy as np
+
+        quarter = 8
+        register = CurrentHistoryRegister(max_quarter_period=quarter)
+        rng = np.random.default_rng(20260808)
+        # Non-dyadic amplitudes around 100 A: every append carries
+        # rounding pressure, and the old unbounded sum reaches ~4e7.
+        trace = (100.0 + 7.3 * np.sin(0.21 * np.arange(400_000))
+                 + rng.normal(0.0, 2.7, 400_000))
+        window = []
+        worst = 0.0
+        for amps in trace.tolist():
+            register.append(amps)
+            window.append(amps)
+            if len(window) > 2 * quarter:
+                window.pop(0)
+            if len(window) == 2 * quarter:
+                exact = math.fsum(window[quarter:]) - math.fsum(
+                    window[:quarter]
+                )
+                got = register.quarter_diff(quarter)
+                scale = math.fsum(abs(value) for value in window)
+                worst = max(worst, abs(got - exact) / np.spacing(scale))
+        assert worst <= 1.0, f"worst error {worst:.2f} ulp of window scale"
+
+    def test_long_trace_dyadic_quarter_diff_is_bit_exact(self):
+        """Exactly representable traces stay bit-exact across wraps.
+
+        The goldens feed whole-amp sensed currents; the precision fix
+        must be an exact no-op there (compensation identically zero), so
+        golden hashes cannot shift.
+        """
+        import math
+
+        quarter = 6
+        register = CurrentHistoryRegister(max_quarter_period=quarter)
+        window = []
+        for cycle in range(50_000):
+            amps = float((cycle * 37) % 113)  # integer-valued, aperiodic
+            register.append(amps)
+            window.append(amps)
+            if len(window) > 2 * quarter:
+                window.pop(0)
+            if len(window) == 2 * quarter:
+                exact = math.fsum(window[quarter:]) - math.fsum(
+                    window[:quarter]
+                )
+                assert register.quarter_diff(quarter) == exact
+
 
 class TestEventHistoryRegister:
     def test_records_and_looks_up(self):

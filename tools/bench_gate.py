@@ -1,15 +1,19 @@
-"""Perf-trajectory gate for the sweep backends (ROADMAP item 1).
+"""Perf-trajectory gate for benchmark artifacts (ROADMAP item 1).
 
-Compares a freshly measured ``BENCH_sweep.json`` (written by
-``benchmarks/bench_sweep_parallel.py``) against the committed baseline
-in ``benchmarks/baselines/BENCH_sweep.json`` and fails when any
-backend's throughput (cells/s) regressed by more than the tolerance.
+Compares a freshly measured benchmark report (``BENCH_sweep.json`` from
+``benchmarks/bench_sweep_parallel.py`` or ``BENCH_core.json`` from
+``benchmarks/bench_core_kernel.py``) against the committed baseline in
+``benchmarks/baselines/`` and fails when any backend's throughput
+(cells/s) regressed by more than the tolerance.
 
 Absolute throughput shifts with the host, so alongside the per-backend
 check the gate also compares each fan-out backend's *speedup over the
 same run's sequential leg* -- a machine-independent signal that the
-scheduler itself (dispatch, leases, IPC) got slower.  Regenerate the
-baseline on a quiet machine with::
+scheduler (or, for BENCH_core, the vectorized kernel) itself got
+slower.  Both reports must therefore carry a ``sequential`` leg with a
+positive rate; a report without one is malformed and fails the gate
+outright rather than silently skipping the speedup check.  Regenerate
+the sweep baseline on a quiet machine with::
 
     PYTHONPATH=src BENCH_SWEEP_OUT=benchmarks/baselines/BENCH_sweep.json \
         python -m pytest benchmarks/bench_sweep_parallel.py --benchmark-only -q
@@ -30,22 +34,48 @@ DEFAULT_BASELINE = (
 )
 
 
-def speedups(report):
+class MalformedReport(ValueError):
+    """A benchmark report is structurally unusable for gating."""
+
+
+def sequential_rate(report, source):
+    """The report's sequential-leg throughput; raise if absent or zero.
+
+    A missing or non-positive sequential rate means the measurement leg
+    never ran (or divided by a zero wall time) -- silently returning no
+    speedups here would let the gate "pass" without checking anything,
+    which is how a broken bench job sneaks a regression through.
+    """
+    entry = report.get("backends", {}).get("sequential")
+    if entry is None:
+        raise MalformedReport(
+            f"{source} report has no 'sequential' backend leg;"
+            " cannot compute speedups -- regenerate the report"
+        )
+    rate = entry.get("cells_per_s")
+    if not isinstance(rate, (int, float)) or not rate > 0:
+        raise MalformedReport(
+            f"{source} report's sequential leg has invalid throughput"
+            f" {rate!r} (expected a positive number); the measurement"
+            " leg did not run -- regenerate the report"
+        )
+    return rate
+
+
+def speedups(report, source="current"):
     """Per-backend speedup over the same run's sequential leg."""
-    backends = report["backends"]
-    sequential = backends.get("sequential", {}).get("cells_per_s")
-    if not sequential:
-        return {}
+    sequential = sequential_rate(report, source)
     return {
         label: entry["cells_per_s"] / sequential
-        for label, entry in backends.items()
+        for label, entry in report["backends"].items()
         if label != "sequential"
+        and isinstance(entry.get("cells_per_s"), (int, float))
     }
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", help="freshly measured BENCH_sweep.json")
+    parser.add_argument("current", help="freshly measured benchmark report")
     parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
     parser.add_argument(
         "--tolerance", type=float, default=0.25,
@@ -65,9 +95,23 @@ def main(argv=None):
             problems.append(f"backend {label!r} missing from current report")
             continue
         base_rate, cur_rate = (
-            base_entry["cells_per_s"], cur_entry["cells_per_s"]
+            base_entry.get("cells_per_s"), cur_entry.get("cells_per_s")
         )
-        ratio = cur_rate / base_rate if base_rate else float("inf")
+        if not isinstance(base_rate, (int, float)) or not base_rate > 0:
+            problems.append(
+                f"{label}: baseline throughput {base_rate!r} is not a"
+                " positive number -- the baseline file is corrupt;"
+                " regenerate it instead of gating against garbage"
+            )
+            continue
+        if not isinstance(cur_rate, (int, float)) or not cur_rate > 0:
+            problems.append(
+                f"{label}: current throughput {cur_rate!r} is not a"
+                " positive number -- the bench leg did not produce a"
+                " measurement"
+            )
+            continue
+        ratio = cur_rate / base_rate
         print(f"{label:12s} {base_rate:9.1f}c/s {cur_rate:9.1f}c/s"
               f" {ratio:6.2f}x")
         if ratio < floor:
@@ -77,19 +121,24 @@ def main(argv=None):
                 f" {base_rate:.1f} (tolerance {args.tolerance * 100:.0f}%)"
             )
 
-    base_speedups, cur_speedups = speedups(baseline), speedups(current)
-    for label, base_speedup in sorted(base_speedups.items()):
-        cur_speedup = cur_speedups.get(label)
-        if cur_speedup is None:
-            continue
-        ratio = cur_speedup / base_speedup if base_speedup else float("inf")
-        print(f"{label:12s} speedup {base_speedup:5.2f}x -> {cur_speedup:5.2f}x"
-              f" ({ratio:.2f} of baseline)")
-        if ratio < floor:
-            problems.append(
-                f"{label}: speedup over sequential fell to"
-                f" {cur_speedup:.2f}x from {base_speedup:.2f}x"
-            )
+    try:
+        base_speedups = speedups(baseline, source="baseline")
+        cur_speedups = speedups(current, source="current")
+    except MalformedReport as exc:
+        problems.append(str(exc))
+    else:
+        for label, base_speedup in sorted(base_speedups.items()):
+            cur_speedup = cur_speedups.get(label)
+            if cur_speedup is None:
+                continue
+            ratio = cur_speedup / base_speedup if base_speedup else float("inf")
+            print(f"{label:12s} speedup {base_speedup:5.2f}x ->"
+                  f" {cur_speedup:5.2f}x ({ratio:.2f} of baseline)")
+            if ratio < floor:
+                problems.append(
+                    f"{label}: speedup over sequential fell to"
+                    f" {cur_speedup:.2f}x from {base_speedup:.2f}x"
+                )
 
     if problems:
         print("\nPERF GATE FAILED")

@@ -33,13 +33,32 @@ fault_result = run_fault_injection(
 print(fault_result.render())
 print(f"({time.time()-t1:.0f}s)")
 
-print("\n--- parallel backend equivalence (workers=2 vs 1) ---")
-t2 = time.time()
-import dataclasses, json
+print("\n--- kernel equivalence (vectorized fast path vs REPRO_KERNEL=0) ---")
+tk = time.time()
+import dataclasses, json, os
 from repro.sim import ResilienceConfig
 TRIO = ("swim", "parser", "gzip")
 def fingerprint(summary):
     return json.dumps(dataclasses.asdict(summary), sort_keys=True)
+from repro.core import kernel as core_kernel
+assert core_kernel.kernel_enabled(), "verify_all must run with the kernel on"
+kernel_sweep = BenchmarkRunner(SweepConfig(n_cycles=6000)).sweep(
+    factory, benchmarks=TRIO
+)
+os.environ[core_kernel.KERNEL_ENV] = "0"
+try:
+    scalar_sweep = BenchmarkRunner(SweepConfig(n_cycles=6000)).sweep(
+        factory, benchmarks=TRIO
+    )
+finally:
+    os.environ.pop(core_kernel.KERNEL_ENV, None)
+kernel_match = fingerprint(kernel_sweep) == fingerprint(scalar_sweep)
+print(f"byte-identical aggregates: {kernel_match}  ({time.time()-tk:.0f}s)")
+if not kernel_match:
+    raise SystemExit("vectorized kernel diverged from the scalar cycle loop")
+
+print("\n--- parallel backend equivalence (workers=2 vs 1) ---")
+t2 = time.time()
 sequential = BenchmarkRunner(SweepConfig(n_cycles=6000)).sweep(factory, benchmarks=TRIO)
 with BenchmarkRunner(SweepConfig(n_cycles=6000)) as parallel_runner:
     parallel = parallel_runner.sweep(
