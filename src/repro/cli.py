@@ -172,9 +172,11 @@ def _cmd_compare(args) -> int:
                         ("quarantine_failures", args.quarantine_failures),
                         ("connect_deadline_s", args.connect_deadline_s),
                         ("dist_transport", args.dist_transport),
+                        ("trace_store_path", args.trace_store),
                     )
                     if value is not None
                 },
+                replay=not args.no_replay,
             ),
         )
     print(f"{'benchmark':10s} {'base viol':>10s} {'tech viol':>10s}"
@@ -261,6 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--checkpoint", metavar="PATH", default=None,
                          help="JSON checkpoint updated after every completed"
                               " cell (also written as PATH.summary.json)")
+    compare.add_argument("--trace-store", metavar="PATH", default=None,
+                         help="content-addressed trace record/replay store:"
+                              " base cells record their current trace once"
+                              " and replay it bit-exactly afterwards")
+    compare.add_argument("--no-replay", action="store_true",
+                         help="disable trace record/replay even when a"
+                              " store path is configured")
     obs.add_observability_flags(compare)
     compare.set_defaults(func=_cmd_compare)
 

@@ -140,13 +140,17 @@ def _execute_lease(lease: dict, renew) -> dict:
 
     spec_blob = lease["spec"]
     if _STATE.get("spec") != spec_blob:
-        config, supply_transform, max_base_cache_entries = unpickle_blob(
-            spec_blob
-        )
+        (
+            config,
+            supply_transform,
+            max_base_cache_entries,
+            trace_store_path,
+        ) = unpickle_blob(spec_blob)
         _STATE["runner"] = BenchmarkRunner(
             config,
             supply_transform=supply_transform,
             max_base_cache_entries=max_base_cache_entries,
+            trace_store=trace_store_path,
         )
         _STATE["spec"] = spec_blob
     runner = _STATE["runner"]

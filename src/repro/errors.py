@@ -67,6 +67,16 @@ class ResilienceConfigError(ConfigurationError, HarnessError):
     """
 
 
+class TraceStoreError(HarnessError):
+    """The trace record/replay store was used incorrectly.
+
+    Raised only for programmatic misuse (storing an unvalidated capture,
+    invalid store construction).  *Corruption* of store entries is never
+    an error: the guard rejects the entry, quarantines the file, records
+    an incident and the caller falls back to full simulation.
+    """
+
+
 class DistributedError(HarnessError):
     """The distributed sweep backend's scheduler or transport failed.
 

@@ -283,6 +283,21 @@ def add_resilience_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="dist backend socket transport (default unix)",
     )
+    parser.add_argument(
+        "--trace-store",
+        metavar="PATH",
+        default=None,
+        help="directory of the content-addressed trace record/replay"
+             " store: base-schedule cells record their current trace"
+             " once per front end and replay it bit-exactly afterwards"
+             " (default: no store, every cell simulates fully)",
+    )
+    parser.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="disable the trace record/replay layer even when a store"
+             " path is configured (every cell runs the full simulation)",
+    )
 
 
 def resilience_from_args(args) -> Optional[ResilienceConfig]:
@@ -328,6 +343,10 @@ def resilience_from_args(args) -> Optional[ResilienceConfig]:
         overrides["connect_deadline_s"] = args.connect_deadline_s
     if getattr(args, "dist_transport", None) is not None:
         overrides["dist_transport"] = args.dist_transport
+    if getattr(args, "trace_store", None) is not None:
+        overrides["trace_store_path"] = args.trace_store
+    if getattr(args, "no_replay", False):
+        overrides["replay"] = False
     if not overrides:
         return None
     return ResilienceConfig(**overrides)

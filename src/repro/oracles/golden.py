@@ -30,7 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.config import TABLE1_PROCESSOR, TABLE1_SUPPLY, TABLE1_TUNING
 from repro.core import CurrentSensor, ResonanceDetector, ResonanceTuningController
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.power import PowerSupply, RLCAnalysis
 from repro.sim import Simulation
 from repro.uarch import Processor, SPEC2K
@@ -144,6 +144,65 @@ def _event_stream(currents: Sequence[float]) -> List[str]:
     ]
 
 
+def _golden_trace_key(cell: GoldenCell):
+    """The record/replay front-end key of one pinned cell."""
+    from dataclasses import asdict
+
+    from repro.trace import TraceKey
+
+    profile = SPEC2K[cell.benchmark]
+    return TraceKey(
+        benchmark=cell.benchmark,
+        workload=asdict(profile),
+        seed=profile.seed,
+        n_instructions=_N_INSTRUCTIONS,
+        processor=asdict(TABLE1_PROCESSOR),
+        n_cycles=cell.n_cycles,
+        warmup_cycles=cell.warmup_cycles,
+        schedule="null",
+        overlay="none",
+    )
+
+
+def _verified_replay_digest(cell: GoldenCell, capture, result) -> str:
+    """Content address of the recorded trace, gated by a replay self-check.
+
+    The captured front-end trace is replayed in memory (a
+    :class:`~repro.trace.replay.ReplaySimulation` against a fresh supply)
+    and the replayed :class:`SimulationResult` -- recorded current and
+    voltage streams included -- must equal the full run's bit-for-bit
+    before the digest may enter the goldens.  A divergence raises, so
+    ``tools/conformance.py`` fails loudly instead of committing a
+    fingerprint the replay path cannot reproduce.
+    """
+    from repro.trace import TracePayload
+    from repro.trace.replay import ReplaySimulation
+
+    if not capture.completed:
+        raise SimulationError(
+            f"golden cell {cell.key} did not produce a replayable capture"
+        )
+    payload = TracePayload(
+        content_sha256=stream_digest(capture.currents),
+        config_digest=capture.key.digest(),
+        n_cycles=cell.n_cycles,
+        warmup_cycles=cell.warmup_cycles,
+        instructions_warmup=capture.instructions_warmup,
+        instructions_total=capture.instructions_total,
+        currents=list(capture.currents),
+    )
+    supply = PowerSupply(TABLE1_SUPPLY, initial_current=_INITIAL_CURRENT_AMPS)
+    replayed = ReplaySimulation(
+        payload, supply, None, record=True, benchmark=cell.benchmark
+    ).run(cell.n_cycles)
+    if replayed != result:
+        raise SimulationError(
+            f"replayed golden cell {cell.key} diverged from the full"
+            f" simulation"
+        )
+    return payload.content_sha256
+
+
 def compute_cell(cell: GoldenCell) -> dict:
     """Run one pinned cell and return its canonical fingerprint record."""
     controller = None
@@ -166,16 +225,33 @@ def compute_cell(cell: GoldenCell) -> dict:
         benchmark=cell.benchmark,
         warmup_cycles=cell.warmup_cycles,
     )
+    capture = None
+    if cell.technique == "base":
+        # Base cells have the replayable null schedule: fingerprint the
+        # recorded (warmup + measured) front-end trace too, and prove the
+        # replay path reproduces the run before committing the digest.
+        from repro.trace import TraceCapture
+
+        capture = TraceCapture(_golden_trace_key(cell))
+        simulation.capture = capture
     result = simulation.run(cell.n_cycles)
     events = _event_stream(simulation.currents)
     currents = simulation.currents
     voltages = simulation.voltages
+    replay_sha = (
+        None if capture is None
+        else _verified_replay_digest(cell, capture, result)
+    )
     return {
         "n_cycles": cell.n_cycles,
         "warmup_cycles": cell.warmup_cycles,
         "currents_sha256": stream_digest(currents),
         "voltages_sha256": stream_digest(voltages),
         "events_sha256": stream_digest(events, kind="str"),
+        # Content address of the full recorded trace in a repro.trace
+        # store (None for unreplayable schedules); verified by an
+        # in-memory replay round trip before it lands here.
+        "replay_trace_sha256": replay_sha,
         # Human-readable context so a failing diff says what moved.
         "n_events": len(events),
         "violation_cycles": result.violation_cycles,

@@ -328,6 +328,7 @@ class ProcessPoolBackend(SweepBackend):
                 runner.config,
                 runner.supply_transform,
                 runner.max_base_cache_entries,
+                runner._trace_spec(resilience),
             ),
             protocol=pickle.HIGHEST_PROTOCOL,
         )

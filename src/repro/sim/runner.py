@@ -191,6 +191,15 @@ class ResilienceConfig:
     #: distributed backend transport: "unix" (socketpair-fast, same
     #: host) or "tcp" (127.0.0.1; the shape of a multi-host deployment)
     dist_transport: str = "unix"
+    #: directory of the content-addressed trace record/replay store
+    #: (:mod:`repro.trace`): base-schedule cells record their current
+    #: trace on the first run of a front end and replay it (bit-exactly)
+    #: afterwards; None disables record/replay entirely
+    trace_store_path: Optional[str] = None
+    #: master switch for the record/replay layer; ``False`` (the
+    #: ``--no-replay`` flag) runs every cell as a full simulation and
+    #: records nothing, even when a store path is configured
+    replay: bool = True
 
     def __post_init__(self) -> None:
         # Validation happens at construction -- with ResilienceConfigError
@@ -274,6 +283,8 @@ class ResilienceConfig:
                 f"dist_transport must be 'unix' or 'tcp',"
                 f" got {self.dist_transport!r}"
             )
+        if self.trace_store_path is not None and not str(self.trace_store_path):
+            reject("trace_store_path must be a non-empty path when set")
 
 
 @dataclass(frozen=True)
@@ -930,7 +941,8 @@ def _worker_run_cell(
     """Execute one sweep cell inside a pool worker.
 
     ``spec_blob`` pickles ``(sweep_config, supply_transform,
-    max_base_cache_entries)``; the worker rebuilds a private
+    max_base_cache_entries, trace_store_path)``; the worker rebuilds a
+    private
     :class:`BenchmarkRunner` from it (cached until the spec changes) so no
     simulator state is shared with the parent or with sibling workers.
     Timeouts run through the same :func:`_call_with_timeout` as the
@@ -958,13 +970,17 @@ def _worker_run_cell(
         registry.reset()
     try:
         if _WORKER_STATE.get("spec") != spec_blob:
-            config, supply_transform, max_base_cache_entries = pickle.loads(
-                spec_blob
-            )
+            (
+                config,
+                supply_transform,
+                max_base_cache_entries,
+                trace_store_path,
+            ) = pickle.loads(spec_blob)
             _WORKER_STATE["runner"] = BenchmarkRunner(
                 config,
                 supply_transform=supply_transform,
                 max_base_cache_entries=max_base_cache_entries,
+                trace_store=trace_store_path,
             )
             _WORKER_STATE["spec"] = spec_blob
         runner: "BenchmarkRunner" = _WORKER_STATE["runner"]
@@ -1006,6 +1022,16 @@ class BenchmarkRunner:
     max_base_cache_entries:
         Bound on the cached base runs (LRU eviction), so long multi-seed
         sweeps cannot grow memory without limit.
+    trace_store:
+        Optional trace record/replay store -- a directory path or a
+        :class:`repro.trace.TraceStore` -- for cells whose controller
+        schedule is replayable (see :func:`repro.trace.replay.schedule_token`).
+        When None, the store configured on the active
+        :class:`ResilienceConfig` (``--trace-store``) applies.
+    replay:
+        ``False`` disables the record/replay layer for this runner no
+        matter what the resilience config says (the ``--no-replay``
+        escape hatch).
 
     A runner used with ``workers > 1`` owns a lazily created process pool;
     :meth:`close` (or use as a context manager) releases it.  The pool is
@@ -1019,6 +1045,8 @@ class BenchmarkRunner:
         resilience: Optional[ResilienceConfig] = None,
         supply_transform: Optional[SupplyTransform] = None,
         max_base_cache_entries: int = 32,
+        trace_store=None,
+        replay: bool = True,
     ):
         if max_base_cache_entries < 1:
             raise ConfigurationError("max_base_cache_entries must be >= 1")
@@ -1026,6 +1054,17 @@ class BenchmarkRunner:
         self.resilience = resilience
         self.supply_transform = supply_transform
         self.max_base_cache_entries = max_base_cache_entries
+        self.replay = bool(replay)
+        self._trace_store_path: Optional[str] = None
+        self._trace_stores: Dict[str, object] = {}
+        if trace_store is not None:
+            root = getattr(trace_store, "root", None)
+            if root is not None:
+                self._trace_store_path = root
+                self._trace_stores[root] = trace_store
+            else:
+                self._trace_store_path = str(trace_store)
+        self._active_resilience: Optional[ResilienceConfig] = None
         self._base_cache: "OrderedDict[tuple, SimulationResult]" = OrderedDict()
         self._checkpoint_cells: Optional[Dict[str, dict]] = None
         self._sweep_count = 0
@@ -1177,6 +1216,147 @@ class BenchmarkRunner:
             warmup_cycles=config.warmup_cycles,
         )
 
+    # ------------------------------------------------------------------
+    # Trace record/replay (repro.trace; ROADMAP item 2)
+    # ------------------------------------------------------------------
+    def _trace_layer(self, resilience: Optional[ResilienceConfig] = None):
+        """The active :class:`~repro.trace.TraceStore`, or None.
+
+        Resolution order: the runner-level ``replay=False`` switch wins,
+        then a store passed to the constructor, then the resilience
+        config (the explicit argument, the sweep in progress, the
+        runner's own, or :data:`DEFAULT_RESILIENCE` -- same chain as
+        :meth:`_resolve_resilience`).  Store objects are cached per path
+        so hit/miss statistics accumulate across a whole sweep.
+        """
+        if not self.replay:
+            return None
+        path = self._trace_store_path
+        if path is None:
+            if resilience is None:
+                resilience = self._active_resilience
+            resilience = self._resolve_resilience(resilience)
+            if not resilience.replay:
+                return None
+            path = resilience.trace_store_path
+        if path is None:
+            return None
+        store = self._trace_stores.get(path)
+        if store is None:
+            # Function-level import: repro.trace.replay imports the
+            # simulation module, which sits beside this one.
+            from repro.trace import TraceStore
+
+            store = TraceStore(path)
+            self._trace_stores[path] = store
+        return store
+
+    def _trace_spec(
+        self, resilience: Optional[ResilienceConfig] = None
+    ) -> Optional[str]:
+        """Store root to ship to pool/dist workers (None = replay off)."""
+        store = self._trace_layer(resilience)
+        return None if store is None else store.root
+
+    def _trace_key(
+        self,
+        benchmark: str,
+        controller: NoiseController,
+        seed: Optional[int],
+    ):
+        """Front-end key of one cell, or None when it cannot replay.
+
+        The key digests everything that shapes the per-cycle current
+        trace: workload profile, effective trace seed, instruction
+        budget, processor config, cycle counts, the controller's
+        directive-schedule token and the supply-overlay token.  Supply
+        parameters are deliberately absent -- currents are
+        supply-independent for replayable (feedback-free) schedules, so
+        one record serves every RLC/detector/response variant.
+        """
+        from repro.trace import TraceKey, overlay_token
+        from repro.trace.replay import schedule_token
+
+        token = schedule_token(controller)
+        if token is None:
+            return None
+        overlay = overlay_token(self.supply_transform)
+        if overlay is None:
+            return None
+        config = self.config
+        profile = SPEC2K[benchmark]
+        return TraceKey(
+            benchmark=benchmark,
+            workload=asdict(profile),
+            seed=profile.seed if seed is None else seed,
+            n_instructions=config.instructions(),
+            processor=asdict(config.processor),
+            n_cycles=config.n_cycles,
+            warmup_cycles=config.warmup_cycles,
+            schedule=token,
+            overlay=overlay,
+        )
+
+    def _replay_supply(self, benchmark: str) -> PowerSupply:
+        """A fresh supply (overlay applied), identical to a full run's."""
+        supply = PowerSupply(
+            self.config.supply,
+            initial_current=self.config.processor.min_current_amps,
+        )
+        if self.supply_transform is not None:
+            supply = self.supply_transform(supply, benchmark)
+        return supply
+
+    def _run_simulation(
+        self,
+        benchmark: str,
+        controller: NoiseController,
+        seed: Optional[int] = None,
+        record: bool = False,
+    ) -> SimulationResult:
+        """Run one cell: replay a recorded trace when possible, else
+        simulate fully (recording the trace on a store miss).
+
+        Replay is guarded: any load-time doubt -- digest mismatch,
+        truncation, corruption -- already degraded to ``load() -> None``
+        inside the store (with an incident recorded), so this method
+        falls back to the full simulation and, when the front end proves
+        replayable (see :class:`~repro.trace.store.TraceCapture`),
+        re-records it.
+        """
+        store = self._trace_layer()
+        if store is not None:
+            key = self._trace_key(benchmark, controller, seed)
+        else:
+            key = None
+        if key is None:
+            simulation = self._build_simulation(
+                benchmark, controller, record=record, seed=seed
+            )
+            return simulation.run(self.config.n_cycles)
+
+        from repro.trace import TraceCapture
+        from repro.trace.replay import ReplaySimulation
+
+        payload = store.load(key, label=benchmark)
+        if payload is not None:
+            replay = ReplaySimulation(
+                payload,
+                self._replay_supply(benchmark),
+                controller,
+                record=record,
+                benchmark=benchmark,
+            )
+            return replay.run(self.config.n_cycles)
+        simulation = self._build_simulation(
+            benchmark, controller, record=record, seed=seed
+        )
+        simulation.capture = TraceCapture(key)
+        result = simulation.run(self.config.n_cycles)
+        if simulation.capture.completed:
+            store.save(simulation.capture)
+        return result
+
     def _base_key(self, benchmark: str, seed: Optional[int]) -> tuple:
         """Cache key of one base run.
 
@@ -1196,8 +1376,7 @@ class BenchmarkRunner:
         if key in self._base_cache:
             self._base_cache.move_to_end(key)
             return self._base_cache[key]
-        simulation = self._build_simulation(benchmark, NullController(), seed=seed)
-        result = simulation.run(self.config.n_cycles)
+        result = self._run_simulation(benchmark, NullController(), seed=seed)
         self._base_cache[key] = result
         while len(self._base_cache) > self.max_base_cache_entries:
             self._base_cache.popitem(last=False)
@@ -1234,6 +1413,7 @@ class BenchmarkRunner:
 
         if self.supply_transform is not None or not core_kernel.kernel_enabled():
             return 0
+        store = self._trace_layer()
         pending = []
         seen = set()
         for benchmark, seed in cells:
@@ -1241,13 +1421,26 @@ class BenchmarkRunner:
             if key in self._base_cache or key in seen:
                 continue
             seen.add(key)
-            pending.append((key, benchmark, seed))
+            trace_key = None
+            if store is not None:
+                trace_key = self._trace_key(benchmark, NullController(), seed)
+                if trace_key is not None and store.contains(trace_key):
+                    # Already recorded: run_base replays it on demand
+                    # (cheap), so don't spend pipeline time here.
+                    continue
+            pending.append((key, benchmark, seed, trace_key))
         if len(pending) < 2:
             return 0
-        simulations = [
-            self._build_simulation(benchmark, NullController(), seed=seed)
-            for _key, benchmark, seed in pending
-        ]
+        simulations = []
+        for _key, benchmark, seed, trace_key in pending:
+            simulation = self._build_simulation(
+                benchmark, NullController(), seed=seed
+            )
+            if trace_key is not None:
+                from repro.trace import TraceCapture
+
+                simulation.capture = TraceCapture(trace_key)
+            simulations.append(simulation)
         guard = None
         if timeout_s is not None:
             guard = lambda fn: _call_with_timeout(fn, timeout_s)
@@ -1258,11 +1451,17 @@ class BenchmarkRunner:
             should_stop=should_stop,
         )
         cached = 0
-        for (key, _benchmark, _seed), outcome in zip(pending, outcomes):
+        for (key, _benchmark, _seed, _tk), simulation, outcome in zip(
+            pending, simulations, outcomes
+        ):
             if isinstance(outcome, SimulationResult):
                 self._base_cache[key] = outcome
                 self._base_cache.move_to_end(key)
                 cached += 1
+                capture = simulation.capture
+                if store is not None and capture is not None \
+                        and capture.completed:
+                    store.save(capture)
         while len(self._base_cache) > self.max_base_cache_entries:
             self._base_cache.popitem(last=False)
         return cached
@@ -1274,8 +1473,7 @@ class BenchmarkRunner:
         seed: Optional[int] = None,
     ) -> SimulationResult:
         controller = factory(self.config.supply, self.config.processor)
-        simulation = self._build_simulation(benchmark, controller, seed=seed)
-        return simulation.run(self.config.n_cycles)
+        return self._run_simulation(benchmark, controller, seed=seed)
 
     def compare(
         self,
@@ -1568,6 +1766,12 @@ class BenchmarkRunner:
             sweep_args = sweep_stack.enter_context(_maybe_span(tracer, "sweep"))
             with _maybe_span(tracer, "setup"):
                 resilience = self._resolve_resilience(resilience)
+                # Cells executed through compare/run_base must see this
+                # sweep's resilience (its --trace-store in particular).
+                self._active_resilience = resilience
+                sweep_stack.callback(
+                    setattr, self, "_active_resilience", None
+                )
                 self._checkpoint_write_warned = False
                 names = (
                     list(benchmarks) if benchmarks is not None
@@ -1622,6 +1826,10 @@ class BenchmarkRunner:
 
             incidents: List[FailureReport] = []
             drain = _DrainFlag()
+            trace_store = self._trace_layer(resilience)
+            trace_stats_before = (
+                dict(trace_store.stats) if trace_store is not None else None
+            )
             t_execute = time.perf_counter()
             with _maybe_span(tracer, "execute"), _drain_on_signals(drain):
                 job = SweepJob(
@@ -1642,6 +1850,34 @@ class BenchmarkRunner:
                 )
                 backend.execute(job)
             timings["execute"] = time.perf_counter() - t_execute
+            if trace_store is not None:
+                # Hit/miss deltas live in ``timings`` (diagnostics outside
+                # the dataclass fields), so a warm-store sweep still
+                # fingerprints identical to a cold one.  Guard failures
+                # become incidents: the result is still correct (full
+                # simulation ran), but the operator should know the store
+                # is rotting.  Pool/dist workers keep their own stores;
+                # their counts arrive via the merged obs telemetry.
+                for stat, value in trace_store.stats.items():
+                    timings[f"trace_{stat}"] = float(
+                        value - trace_stats_before[stat]
+                    )
+                for event in trace_store.drain_incidents():
+                    incidents.append(FailureReport(
+                        benchmark=event.get("benchmark", "trace-store"),
+                        technique=technique,
+                        seed=None,
+                        attempts=0,
+                        error_type=event.get(
+                            "error_type", "TraceStoreCorrupt"
+                        ),
+                        message=(
+                            f"{event.get('kind', 'entry')}"
+                            f" {event.get('path', '?')}:"
+                            f" {event.get('reason', 'rejected')};"
+                            f" fell back to full simulation"
+                        ),
+                    ))
 
             t_aggregate = time.perf_counter()
             with _maybe_span(tracer, "aggregate"):

@@ -47,6 +47,12 @@ class Simulation:
         self.warmup_cycles = warmup_cycles
         self.currents: Optional[list] = [] if record else None
         self.voltages: Optional[list] = [] if record else None
+        #: Optional repro.trace.TraceCapture recording the *full*
+        #: (warmup + measured) current trace for the record/replay store.
+        #: Unlike ``record``, which keeps measured cycles for diagnostics,
+        #: a capture must cover warmup too -- replay re-rings the supply
+        #: through it.  The sweep runner attaches one on a store miss.
+        self.capture = None
         self._ran = False
 
     def run(self, n_cycles: int) -> SimulationResult:
@@ -101,6 +107,8 @@ class Simulation:
         supply = self.supply
         controller = self.controller
         record = self.record
+        capture = self.capture
+        stage_capture = None if capture is None else capture.currents.append
         snapshot = self._snapshot()
         for cycle in range(self.warmup_cycles + n_cycles):
             if cycle == self.warmup_cycles:
@@ -116,6 +124,8 @@ class Simulation:
                 snapshot = self._snapshot()
             directives = controller.directives(cycle)
             stats = processor.step(directives)
+            if stage_capture is not None:
+                stage_capture(stats.current_amps)
             voltage = supply.step(stats.current_amps)
             controller.observe(cycle, stats.current_amps, voltage, stats)
             if record and cycle >= self.warmup_cycles:
@@ -168,6 +178,8 @@ class Simulation:
             stage_current(stats.current_amps)
             if stats_log is not None:
                 stats_log.append(stats)
+        if self.capture is not None:
+            self.capture.currents.extend(currents)
         return currents, stats_log, snapshot
 
     def _kernel_advance_supply(self, stage) -> dict:
@@ -213,6 +225,15 @@ class Simulation:
 
     def _assemble_result(self, snapshot: dict, n_cycles: int) -> SimulationResult:
         end = self._snapshot()
+        if self.capture is not None:
+            # Replayability proof: the captured trace must re-derive this
+            # run's energy ledger bit-for-bit (see TraceCapture.finish).
+            # A failed proof leaves the capture incomplete -- it is simply
+            # never persisted; the run's own result is untouched.
+            config = self.supply.config
+            self.capture.finish(
+                snapshot, end, config.vdd_volts, config.cycle_seconds
+            )
         # The technique's own hardware energy (Section 4.1 charges tuning's
         # detection hardware this way) counts against it.
         overhead = self.controller.overhead_energy_joules(n_cycles)

@@ -39,6 +39,7 @@ from repro.faults import (
     StuckAtFault,
 )
 from repro.power import RLCAnalysis
+from repro.uarch import WorkloadProfile
 
 __all__ = [
     "GRID_STEPS_PER_AMP",
@@ -49,6 +50,7 @@ __all__ = [
     "fault_overlays",
     "underdamped_supply_configs",
     "supply_stimuli",
+    "workload_profiles",
 ]
 
 #: Detector traces are exact multiples of this (1/8 A): dyadic, so sums
@@ -200,6 +202,62 @@ def fault_overlays(draw, max_faults: int = 3) -> list:
                 seed=seed,
             ))
     return faults
+
+
+# ----------------------------------------------------------------------
+# Workload profiles
+# ----------------------------------------------------------------------
+@st.composite
+def workload_profiles(draw, name: str = "fuzz") -> WorkloadProfile:
+    """A valid random :class:`WorkloadProfile`.
+
+    Covers quiet, steadily oscillating and episodic mixes, both branch
+    models, and the full dependency/memory parameter ranges the 26 tuned
+    profiles span -- the domain the record/replay differential must hold
+    over.  Generation respects the profile validator's cross-field
+    constraints (mix headroom, period > low segment, episodic gap).
+    """
+    osc_kind = draw(st.sampled_from(["none", "serial", "l2", "mem"]))
+    if osc_kind == "none":
+        osc_low = 24
+        osc_period = 0
+        osc_jitter = 0
+        episodes = 0
+        gap = 0
+        boost = False
+        boost_dep = 0
+    else:
+        osc_low = draw(st.integers(8, 60))
+        osc_period = osc_low + draw(st.integers(8, 220))
+        osc_jitter = draw(st.integers(0, 10))
+        episodes = draw(st.sampled_from([0, 0, 2, 4]))
+        gap = draw(st.integers(50, 400)) if episodes else 0
+        boost = draw(st.booleans())
+        boost_dep = draw(st.integers(0, 6)) if boost else 0
+    return WorkloadProfile(
+        name=name,
+        frac_load=draw(st.floats(0.05, 0.35)),
+        frac_store=draw(st.floats(0.0, 0.15)),
+        frac_branch=draw(st.floats(0.02, 0.2)),
+        frac_fp=draw(st.floats(0.0, 0.8)),
+        frac_mul=draw(st.floats(0.0, 0.3)),
+        mean_dep_distance=draw(st.floats(1.5, 14.0)),
+        dep2_probability=draw(st.floats(0.0, 0.6)),
+        l1_miss_rate=draw(st.floats(0.0, 0.12)),
+        l2_miss_rate=draw(st.floats(0.0, 0.4)),
+        icache_miss_rate=draw(st.floats(0.0, 0.02)),
+        branch_mispredict_rate=draw(st.floats(0.0, 0.08)),
+        branch_model=draw(st.sampled_from(["random", "gshare"])),
+        osc_period_instrs=osc_period,
+        osc_kind=osc_kind,
+        osc_low_instrs=osc_low,
+        osc_jitter_instrs=osc_jitter,
+        osc_boost_ilp=boost,
+        osc_boost_dep=boost_dep,
+        osc_episode_periods=episodes,
+        osc_gap_instrs=gap,
+        seed=draw(st.integers(0, 2**31 - 1)),
+    )
 
 
 # ----------------------------------------------------------------------

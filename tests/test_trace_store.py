@@ -1,0 +1,401 @@
+"""Tests for the content-addressed trace store (repro.trace.store).
+
+Two layers:
+
+* **Unit**: key digests, capture validation (the replayability proof),
+  durable save/load round trips, the in-memory payload cache, overlay
+  tokens.
+* **Corruption**: every way an on-disk entry can rot -- truncation, bit
+  flips, zero-byte files, wrong-digest entries, version skew -- must
+  degrade to a guard miss (full simulation, incident recorded, file
+  quarantined), never a crash and never silent reuse of bad data.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.errors import TraceStoreError
+from repro.faults.chaos import flip_bit, truncate_file
+from repro.oracles import golden
+from repro.sim import BenchmarkRunner, ResilienceConfig, SweepConfig
+from repro.trace import (
+    STORE_VERSION,
+    TraceCapture,
+    TraceKey,
+    TraceStore,
+    canonical_digest,
+    overlay_token,
+    stream_digest,
+)
+
+SMALL = SweepConfig(n_cycles=1200, warmup_cycles=150)
+
+
+def make_key(**overrides) -> TraceKey:
+    fields = dict(
+        benchmark="unit",
+        workload={"name": "unit", "frac_load": 0.25},
+        seed=3,
+        n_instructions=1000,
+        processor={"issue_width": 8},
+        n_cycles=4,
+        warmup_cycles=2,
+        schedule="null",
+        overlay="none",
+    )
+    fields.update(overrides)
+    return TraceKey(**fields)
+
+
+def make_capture(key=None, currents=(1.5, 2.25, 3.0, 1.0, 0.5, 2.0),
+                 vdd=1.2, cycle_seconds=1e-10) -> TraceCapture:
+    """A completed capture whose snapshots match the recorded currents."""
+    key = key or make_key()
+    capture = TraceCapture(key)
+    capture.currents = list(currents)
+    energy = 0.0
+    boundary_energy = None
+    for i, amps in enumerate(capture.currents):
+        if i == key.warmup_cycles:
+            boundary_energy = energy
+        energy += amps * vdd * cycle_seconds
+    boundary = {"energy": boundary_energy, "phantom": 0.0, "instructions": 7}
+    end = {"energy": energy, "phantom": 0.0, "instructions": 19}
+    assert capture.finish(boundary, end, vdd, cycle_seconds)
+    return capture
+
+
+# ----------------------------------------------------------------------
+# Keys and digests
+# ----------------------------------------------------------------------
+
+class TestKeysAndDigests:
+    def test_digest_is_stable_and_field_sensitive(self):
+        assert make_key().digest() == make_key().digest()
+        assert make_key().digest() != make_key(seed=4).digest()
+        assert make_key().digest() != make_key(n_cycles=5).digest()
+        assert make_key().digest() != make_key(schedule="declared:x").digest()
+        assert make_key().digest() != make_key(version=STORE_VERSION + 1).digest()
+
+    def test_canonical_digest_is_float_exact(self):
+        # 0.1 + 0.2 != 0.3 in binary: the hex canonicalization must see
+        # the difference repr-rounding could mask.
+        assert canonical_digest({"x": 0.1 + 0.2}) != canonical_digest({"x": 0.3})
+        assert canonical_digest({"a": 1, "b": 2.0}) == canonical_digest(
+            {"b": 2.0, "a": 1}
+        )
+
+    def test_stream_digest_matches_golden_fingerprint_algorithm(self):
+        # store.py promises its digest equals the golden oracle's; the
+        # committed goldens' replay_trace_sha256 depends on it.
+        values = [0.0, 1.5, -2.25, 3.141592653589793, 1e-30]
+        assert stream_digest(values) == golden.stream_digest(values, kind="float")
+
+    def test_overlay_token_cases(self):
+        assert overlay_token(None) == "none"
+        token = overlay_token(("picklable", 1.5))
+        assert token.startswith("pickle-sha256:")
+        assert token == overlay_token(("picklable", 1.5))
+        assert token != overlay_token(("picklable", 2.5))
+        assert overlay_token(lambda s, b: s) is None  # unpicklable closure
+
+
+# ----------------------------------------------------------------------
+# Capture validation (the replayability proof)
+# ----------------------------------------------------------------------
+
+class TestCaptureValidation:
+    def test_valid_capture_completes(self):
+        capture = make_capture()
+        assert capture.completed
+        assert capture.instructions_warmup == 7
+        assert capture.instructions_total == 19
+
+    def test_wrong_length_rejected(self):
+        capture = TraceCapture(make_key())
+        capture.currents = [1.0] * 5  # expected 6
+        assert not capture.finish(
+            {"energy": 0.0, "phantom": 0.0, "instructions": 0},
+            {"energy": 0.0, "phantom": 0.0, "instructions": 0},
+            1.0, 1e-10,
+        )
+        assert not capture.completed
+
+    def test_phantom_energy_rejected(self):
+        # Phantom current is injected by controller floors and is not
+        # derivable from the trace: such runs must never be recorded.
+        capture = TraceCapture(make_key())
+        capture.currents = [1.0] * 6
+        assert not capture.finish(
+            {"energy": 2e-10, "phantom": 0.0, "instructions": 0},
+            {"energy": 6e-10, "phantom": 1e-12, "instructions": 0},
+            1.0, 1e-10,
+        )
+
+    def test_energy_mismatch_rejected(self):
+        capture = TraceCapture(make_key())
+        capture.currents = [1.0] * 6
+        assert not capture.finish(
+            {"energy": 2e-10, "phantom": 0.0, "instructions": 0},
+            {"energy": 7e-10, "phantom": 0.0, "instructions": 0},
+            1.0, 1e-10,
+        )
+
+    def test_store_refuses_unfinished_capture(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        with pytest.raises(TraceStoreError):
+            store.save(TraceCapture(make_key()))
+
+
+# ----------------------------------------------------------------------
+# Save / load round trips
+# ----------------------------------------------------------------------
+
+class TestRoundTrip:
+    def test_save_then_load_from_fresh_store(self, tmp_path):
+        capture = make_capture()
+        writer = TraceStore(str(tmp_path))
+        assert writer.save(capture)
+        assert writer.stats["records"] == 1
+        reader = TraceStore(str(tmp_path))
+        assert reader.contains(capture.key)
+        payload = reader.load(capture.key, label="unit")
+        assert payload is not None
+        assert payload.currents == capture.currents
+        assert payload.config_digest == capture.key.digest()
+        assert payload.content_sha256 == stream_digest(capture.currents)
+        assert payload.instructions_warmup == 7
+        assert payload.instructions_total == 19
+        assert reader.stats == {
+            "hits": 1, "misses": 0, "guard_failures": 0,
+            "fallbacks": 0, "records": 0,
+        }
+
+    def test_miss_counts_and_returns_none(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        assert store.load(make_key()) is None
+        assert store.stats["misses"] == 1
+        assert not store.incidents
+
+    def test_payload_cache_serves_repeat_loads(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        capture = make_capture()
+        store.save(capture)
+        first = store.load(capture.key)
+        # Delete the files: a second load must come from the cache.
+        for directory in (store.index_dir, store.objects_dir):
+            for name in os.listdir(directory):
+                os.unlink(os.path.join(directory, name))
+        second = store.load(capture.key)
+        assert second is first
+        assert store.stats["hits"] == 2
+
+    def test_zero_cache_capacity_reloads_from_disk(self, tmp_path):
+        store = TraceStore(str(tmp_path), max_cached_payloads=0)
+        capture = make_capture()
+        store.save(capture)
+        assert store.load(capture.key) is not store.load(capture.key)
+
+    def test_object_dedup_across_keys(self, tmp_path):
+        # Same trace under two keys: one object, two index entries.
+        store = TraceStore(str(tmp_path))
+        store.save(make_capture())
+        store.save(make_capture(key=make_key(seed=99)))
+        assert len(os.listdir(store.objects_dir)) == 1
+        assert len(os.listdir(store.index_dir)) == 2
+
+
+# ----------------------------------------------------------------------
+# Corruption: every rot mode degrades to guard-miss + incident
+# ----------------------------------------------------------------------
+
+def _entry_paths(store: TraceStore):
+    index_path = os.path.join(store.index_dir, os.listdir(store.index_dir)[0])
+    object_path = os.path.join(
+        store.objects_dir, os.listdir(store.objects_dir)[0]
+    )
+    return index_path, object_path
+
+
+def _rewrite_json(path, mutate):
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    mutate(payload)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+class TestCorruptionGuards:
+    def _seeded_store(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        capture = make_capture()
+        store.save(capture)
+        return capture.key, _entry_paths(store)
+
+    def _assert_guarded(self, tmp_path, key, reason_fragment):
+        store = TraceStore(str(tmp_path))
+        assert store.load(key, label="unit") is None
+        assert store.stats["guard_failures"] == 1
+        assert store.stats["fallbacks"] == 1
+        (incident,) = store.drain_incidents()
+        assert incident["error_type"] == "TraceStoreCorrupt"
+        assert incident["benchmark"] == "unit"
+        assert reason_fragment in incident["reason"]
+        assert not store.drain_incidents()
+        return incident
+
+    def test_truncated_object(self, tmp_path):
+        key, (_, object_path) = self._seeded_store(tmp_path)
+        truncate_file(object_path, 0.5)
+        self._assert_guarded(tmp_path, key, "unreadable object")
+        assert os.path.exists(f"{object_path}.corrupt-0")
+
+    def test_truncated_sample_list(self, tmp_path):
+        key, (_, object_path) = self._seeded_store(tmp_path)
+        _rewrite_json(object_path, lambda o: o["currents_hex"].pop())
+        self._assert_guarded(tmp_path, key, "trace truncated")
+
+    def test_bit_flipped_object(self, tmp_path):
+        key, (_, object_path) = self._seeded_store(tmp_path)
+        flip_bit(object_path)
+        incident = self._assert_guarded(tmp_path, key, "")
+        # Depending on which byte the flip lands in, the guard trips as a
+        # JSON parse error, a hash mismatch, or malformed metadata -- all
+        # acceptable; silent acceptance is not.
+        assert incident["kind"] == "object"
+
+    def test_flipped_sample_value_is_a_hash_mismatch(self, tmp_path):
+        key, (_, object_path) = self._seeded_store(tmp_path)
+        _rewrite_json(
+            object_path,
+            lambda o: o["currents_hex"].__setitem__(3, float(99.0).hex()),
+        )
+        self._assert_guarded(tmp_path, key, "content hash mismatch")
+
+    def test_zero_byte_index(self, tmp_path):
+        key, (index_path, _) = self._seeded_store(tmp_path)
+        open(index_path, "w").close()
+        self._assert_guarded(tmp_path, key, "unreadable index")
+        assert os.path.exists(f"{index_path}.corrupt-0")
+
+    def test_zero_byte_object(self, tmp_path):
+        key, (_, object_path) = self._seeded_store(tmp_path)
+        open(object_path, "w").close()
+        self._assert_guarded(tmp_path, key, "unreadable object")
+
+    def test_missing_object(self, tmp_path):
+        key, (_, object_path) = self._seeded_store(tmp_path)
+        os.unlink(object_path)
+        self._assert_guarded(tmp_path, key, "content object missing")
+
+    def test_wrong_digest_index(self, tmp_path):
+        key, (index_path, _) = self._seeded_store(tmp_path)
+        _rewrite_json(
+            index_path,
+            lambda i: i.__setitem__("config_digest", "0" * 64),
+        )
+        self._assert_guarded(tmp_path, key, "config digest mismatch")
+
+    def test_wrong_digest_object(self, tmp_path):
+        key, (_, object_path) = self._seeded_store(tmp_path)
+        _rewrite_json(
+            object_path,
+            lambda o: o.__setitem__("config_digest", "f" * 64),
+        )
+        self._assert_guarded(tmp_path, key, "different front end")
+
+    def test_version_skew_index(self, tmp_path):
+        key, (index_path, _) = self._seeded_store(tmp_path)
+        _rewrite_json(
+            index_path,
+            lambda i: i.__setitem__("version", STORE_VERSION + 1),
+        )
+        self._assert_guarded(tmp_path, key, "version")
+
+    def test_malformed_sample_encoding(self, tmp_path):
+        key, (_, object_path) = self._seeded_store(tmp_path)
+        # Poison one sample and re-address the object so every earlier
+        # guard passes and only the float parse trips.
+        with open(object_path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        payload["currents_hex"][0] = "not-a-float"
+        import hashlib
+        sha = hashlib.sha256(
+            "\n".join(payload["currents_hex"]).encode("ascii")
+        ).hexdigest()
+        store = TraceStore(str(tmp_path))
+        index_path, _ = _entry_paths(store)
+        new_object = os.path.join(store.objects_dir, f"{sha}.json")
+        with open(new_object, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        _rewrite_json(index_path, lambda i: i.__setitem__("content_sha256", sha))
+        self._assert_guarded(tmp_path, key, "malformed sample")
+
+
+# ----------------------------------------------------------------------
+# Corruption at the runner level: fallback is invisible in the results
+# ----------------------------------------------------------------------
+
+def null_factory(supply, processor):
+    from repro.core.controller import NullController
+
+    return NullController()
+
+
+class TestRunnerFallback:
+    def _fingerprint(self, summary):
+        return json.dumps(dataclasses.asdict(summary), sort_keys=True)
+
+    def test_corrupt_entry_falls_back_with_incident(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        plain = BenchmarkRunner(SMALL).run_base("gzip")
+        recorded = BenchmarkRunner(SMALL, trace_store=store_dir).run_base("gzip")
+        assert recorded == plain
+        store = TraceStore(store_dir)
+        index_path, object_path = _entry_paths(store)
+        flip_bit(object_path)
+        corrupted_runner = BenchmarkRunner(SMALL, trace_store=store_dir)
+        corrupted = corrupted_runner.run_base("gzip")
+        assert corrupted == plain
+        fallback_store = corrupted_runner._trace_stores[store_dir]
+        assert fallback_store.stats["guard_failures"] == 1
+        assert fallback_store.stats["fallbacks"] == 1
+        # The re-simulation re-records the entry, healing the store.
+        assert fallback_store.stats["records"] == 1
+        healed = BenchmarkRunner(SMALL, trace_store=store_dir).run_base("gzip")
+        assert healed == plain
+
+    def test_sweep_surfaces_corruption_as_incident(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        resilience = ResilienceConfig(trace_store_path=store_dir)
+        plain = BenchmarkRunner(SMALL).sweep(
+            null_factory, benchmarks=("gzip",)
+        )
+        cold = BenchmarkRunner(SMALL).sweep(
+            null_factory, benchmarks=("gzip",), resilience=resilience
+        )
+        store = TraceStore(store_dir)
+        _, object_path = _entry_paths(store)
+        truncate_file(object_path, 0.3)
+        warm = BenchmarkRunner(SMALL).sweep(
+            null_factory, benchmarks=("gzip",), resilience=resilience
+        )
+        assert self._fingerprint(warm) == self._fingerprint(cold)
+        assert self._fingerprint(warm) == self._fingerprint(plain)
+        assert warm.timings["trace_guard_failures"] >= 1.0
+        trace_incidents = [
+            incident for incident in warm.incidents
+            if incident.error_type == "TraceStoreCorrupt"
+        ]
+        assert trace_incidents
+        assert trace_incidents[0].benchmark == "gzip"
+        assert "fell back to full simulation" in trace_incidents[0].message
+        # Quarantined evidence stays on disk.
+        quarantined = [
+            name for name in os.listdir(store.objects_dir)
+            if ".corrupt-" in name
+        ]
+        assert quarantined

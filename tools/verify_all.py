@@ -57,6 +57,31 @@ print(f"byte-identical aggregates: {kernel_match}  ({time.time()-tk:.0f}s)")
 if not kernel_match:
     raise SystemExit("vectorized kernel diverged from the scalar cycle loop")
 
+print("\n--- replay equivalence (trace store cold+warm vs full simulation) ---")
+tr = time.time()
+import tempfile
+plain_sweep = BenchmarkRunner(SweepConfig(n_cycles=6000)).sweep(
+    factory, benchmarks=TRIO
+)
+with tempfile.TemporaryDirectory() as store_dir:
+    store_resilience = ResilienceConfig(trace_store_path=store_dir)
+    cold_sweep = BenchmarkRunner(SweepConfig(n_cycles=6000)).sweep(
+        factory, benchmarks=TRIO, resilience=store_resilience
+    )
+    warm_sweep = BenchmarkRunner(SweepConfig(n_cycles=6000)).sweep(
+        factory, benchmarks=TRIO, resilience=store_resilience
+    )
+replay_match = (
+    fingerprint(plain_sweep) == fingerprint(cold_sweep) == fingerprint(warm_sweep)
+)
+warm_hits = warm_sweep.timings.get("trace_hits", 0.0)
+print(f"byte-identical aggregates: {replay_match}  "
+      f"warm replay hits: {warm_hits:.0f}  ({time.time()-tr:.0f}s)")
+if not replay_match:
+    raise SystemExit("trace replay diverged from the full simulation")
+if not warm_hits:
+    raise SystemExit("warm trace store produced no replay hits")
+
 print("\n--- parallel backend equivalence (workers=2 vs 1) ---")
 t2 = time.time()
 sequential = BenchmarkRunner(SweepConfig(n_cycles=6000)).sweep(factory, benchmarks=TRIO)
