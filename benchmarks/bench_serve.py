@@ -1,0 +1,146 @@
+"""Bench: sweep-as-a-service HTTP round trip vs a direct in-process sweep.
+
+The serving tier must not tax the simulation it fronts: a job submitted
+over HTTP, streamed over SSE and fetched from ``/jobs/<id>/result``
+should cost barely more wall clock than calling ``BenchmarkRunner.sweep``
+directly, because the sweep runs on a worker thread while the asyncio
+loop only relays progress events.
+
+* **sequential** -- direct ``BenchmarkRunner.sweep`` over the grid;
+* **serve_http** -- the same grid through a real ``repro serve``
+  subprocess: POST the spec, consume the SSE stream to its ``end``
+  frame, then GET the result (server boot/teardown is untimed).
+
+The served aggregates must be byte-identical to the direct run, and the
+HTTP leg must stay within ``MAX_OVERHEAD`` of the sequential wall.
+Figures land in a ``BENCH_serve.json`` perf-trajectory artifact (path
+overridable via ``BENCH_SERVE_OUT``) which CI gates against the
+committed baseline with ``tools/bench_gate.py --tolerance 0.5``.
+"""
+
+import dataclasses
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tools"))
+
+from chaos import ServeHarness  # noqa: E402  (needs the tools/ dir on sys.path)
+
+from repro.serve import JobSpec, controller_factory  # noqa: E402
+from repro.sim import BenchmarkRunner, SweepConfig  # noqa: E402
+
+from conftest import run_once  # noqa: E402
+
+WORKLOADS = ("swim", "bzip", "parser", "mcf", "lucas", "gzip")
+CYCLES = 4_000
+WARMUP = 400
+#: The HTTP leg may cost at most this multiple of the direct sweep.
+MAX_OVERHEAD = 1.8
+
+SPEC = {
+    "technique": "tuning",
+    "benchmarks": list(WORKLOADS),
+    "n_cycles": CYCLES,
+    "warmup_cycles": WARMUP,
+}
+
+
+def _direct_sweep():
+    spec = JobSpec.from_dict(SPEC)
+    runner = BenchmarkRunner(
+        SweepConfig(n_cycles=spec.n_cycles, warmup_cycles=spec.warmup_cycles)
+    )
+    return runner.sweep(controller_factory(spec), benchmarks=list(spec.benchmarks))
+
+
+def _served_sweep(server):
+    """Submit SPEC, stream SSE to the end frame, return the result record."""
+    status, _, record = server.request("POST", "/jobs", SPEC)
+    assert status == 201, f"submission failed: {status} {record}"
+    job_id = record["job_id"]
+    sock = server.sse_socket(job_id)
+    try:
+        sock.settimeout(300.0)
+        stream = b""
+        while b"event: end" not in stream:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            stream += chunk
+    finally:
+        sock.close()
+    status, _, result = server.request("GET", f"/jobs/{job_id}/result")
+    assert status == 200, f"result fetch failed: {status}"
+    assert stream.count(b"event: cell") == len(WORKLOADS)
+    return result
+
+
+def _write_artifact(walls, n_cells):
+    out = os.environ.get("BENCH_SERVE_OUT", "BENCH_serve.json")
+    payload = {
+        "schema": 1,
+        "grid": {
+            "workloads": list(WORKLOADS),
+            "n_cycles": CYCLES,
+            "warmup_cycles": WARMUP,
+            "cells": n_cells,
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "backends": {
+            label: {
+                "wall_s": round(wall, 4),
+                "cells_per_s": round(n_cells / wall, 3),
+            }
+            for label, wall in walls.items()
+        },
+    }
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"perf artifact written to {out}")
+
+
+def test_bench_serve(benchmark, tmp_path):
+    n_cells = len(WORKLOADS)
+
+    # Timed direct-sweep reference (also the correctness oracle).
+    start = time.perf_counter()
+    direct = _direct_sweep()
+    sequential_wall = time.perf_counter() - start
+    direct_fp = json.dumps(dataclasses.asdict(direct), sort_keys=True)
+
+    # Untimed server boot, then the timed HTTP/SSE round trip.
+    with ServeHarness(tmp_path / "serve", max_running=1) as server:
+        start = time.perf_counter()
+        result = run_once(benchmark, _served_sweep, server)
+        served_wall = time.perf_counter() - start
+    served_fp = json.dumps(result["result"]["summary"], sort_keys=True)
+
+    assert served_fp == direct_fp, (
+        "served aggregates diverged from the direct sweep"
+    )
+
+    overhead = served_wall / sequential_wall
+    print()
+    print(f"grid: {n_cells} workloads x {CYCLES} cycles")
+    print(f"  sequential {sequential_wall:7.3f} s"
+          f"  ({n_cells / sequential_wall:6.2f} cells/s)")
+    print(f"  serve_http {served_wall:7.3f} s"
+          f"  ({n_cells / served_wall:6.2f} cells/s)   (x{overhead:.2f})")
+
+    _write_artifact(
+        {"sequential": sequential_wall, "serve_http": served_wall}, n_cells
+    )
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"HTTP round trip cost {overhead:.2f}x the direct sweep"
+        f" (ceiling {MAX_OVERHEAD}x)"
+    )

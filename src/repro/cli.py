@@ -188,6 +188,30 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import AdmissionPolicy, ServeConfig, SweepService
+
+    config = ServeConfig(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        max_running=args.max_running,
+        admission=AdmissionPolicy(
+            max_queued=args.max_queued,
+            tenant_max_active=args.tenant_max_active,
+            tenant_max_cells=args.tenant_max_cells,
+            retry_after_base_s=args.retry_after_s,
+        ),
+        request_timeout_s=args.request_timeout_s,
+        drain_deadline_s=args.drain_deadline_s,
+        ready_file=args.ready_file,
+    )
+    service = SweepService(config)
+    return asyncio.run(service.run())
+
+
 def _cmd_experiment(args) -> int:
     from repro.experiments.registry import resilience_from_args, run_experiment
 
@@ -273,6 +297,41 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_observability_flags(compare)
     compare.set_defaults(func=_cmd_compare)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the sweep-as-a-service HTTP API (see docs/operations.md)",
+    )
+    serve.add_argument("--data-dir", metavar="PATH", required=True,
+                       help="durable job store root (job records under"
+                            " jobs/, sweep checkpoints under work/)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="listen address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8537,
+                       help="listen port; 0 binds an ephemeral port"
+                            " (pair with --ready-file to discover it)")
+    serve.add_argument("--max-running", type=int, default=2,
+                       help="jobs executing concurrently; the rest queue")
+    serve.add_argument("--max-queued", type=int, default=16,
+                       help="queued-job bound; beyond it submissions are"
+                            " shed with 429 + Retry-After")
+    serve.add_argument("--tenant-max-active", type=int, default=4,
+                       help="queued+running jobs one tenant may hold")
+    serve.add_argument("--tenant-max-cells", type=int, default=512,
+                       help="cells across one tenant's queued+running jobs")
+    serve.add_argument("--retry-after-s", type=float, default=1.0,
+                       help="base of the deterministic Retry-After hint")
+    serve.add_argument("--request-timeout-s", type=float, default=5.0,
+                       help="per-request head/body read deadline"
+                            " (slow-loris guard; 408 past it)")
+    serve.add_argument("--drain-deadline-s", type=float, default=30.0,
+                       help="SIGTERM drain: seconds to wait for running"
+                            " sweeps to checkpoint before exiting 75")
+    serve.add_argument("--ready-file", metavar="PATH", default=None,
+                       help="write {host, port, pid, url} JSON once the"
+                            " listener is bound")
+    obs.add_observability_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
+
     experiment = commands.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("name", help="e.g. table3, figure5")
     experiment.add_argument("--quick", action="store_true")
@@ -296,6 +355,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # EX_TEMPFAIL so callers know a --resume finishes the run.
         logger.warning("interrupted: %s", stop)
         return stop.exit_code
+    except KeyboardInterrupt:
+        # Ctrl-C outside a sweep (inside one, the drain turns it into
+        # SweepInterrupted above): exit 128+SIGINT like a killed shell
+        # command instead of spilling a traceback.
+        logger.warning("interrupted by user")
+        return 130
     finally:
         if observing:
             for path in obs.finalize(

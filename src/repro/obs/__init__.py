@@ -53,6 +53,7 @@ __all__ = [
     "finalize",
     "is_configured",
     "active_registry",
+    "ensure_registry",
     "active_tracer",
     "worker_spec",
     "init_worker",
@@ -97,6 +98,21 @@ def configure(
 
 def is_configured() -> bool:
     return active_tracer() is not None or active_registry() is not None
+
+
+def ensure_registry() -> MetricsRegistry:
+    """Return the active metrics registry, installing one if none is.
+
+    Long-lived processes that always want metrics (the sweep service's
+    ``/metrics`` endpoint) call this once at startup; unlike
+    :func:`configure` it never touches logging or tracing and never
+    schedules an export -- the caller owns exposition.
+    """
+    registry = active_registry()
+    if registry is None:
+        registry = MetricsRegistry()
+        set_active_registry(registry)
+    return registry
 
 
 def _prometheus_path(metrics_path: str) -> str:

@@ -1,0 +1,45 @@
+"""Sweep-as-a-service: a durable async HTTP job API over the runner.
+
+``repro serve`` (see :mod:`repro.cli`) boots a :class:`SweepService`: an
+asyncio HTTP front end that admits sweep-job submissions, runs each on a
+worker thread through the existing resilient :class:`BenchmarkRunner`
+stack, and survives the chaos harness -- ``kill -9`` mid-sweep, client
+disconnects mid-stream, queue-overflow storms, slow-loris requests.
+
+The API surface::
+
+    POST /jobs                 submit a JobSpec (Idempotency-Key honoured)
+    GET  /jobs                 list all job records
+    GET  /jobs/<id>            one job record
+    GET  /jobs/<id>/result     aggregates of a done job (409 otherwise)
+    POST /jobs/<id>/cancel     cancel queued or running work
+    GET  /jobs/<id>/events     SSE progress stream until terminal
+    GET  /healthz              liveness (always 200 while the loop runs)
+    GET  /readyz               readiness (503 while draining)
+    GET  /metrics              Prometheus exposition of repro.obs counters
+
+Durability and recovery are documented on :mod:`repro.serve.jobs`,
+admission on :mod:`repro.serve.admission`, and the operational runbook in
+``docs/operations.md``.
+"""
+
+from __future__ import annotations
+
+from repro.serve.admission import AdmissionDecision, AdmissionPolicy
+from repro.serve.jobs import JobRecord, JobStore, STATES, TERMINAL_STATES
+from repro.serve.jobspec import JobSpec, TECHNIQUES, controller_factory
+from repro.serve.service import ServeConfig, SweepService
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "STATES",
+    "ServeConfig",
+    "SweepService",
+    "TECHNIQUES",
+    "TERMINAL_STATES",
+    "controller_factory",
+]

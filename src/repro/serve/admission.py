@@ -1,0 +1,113 @@
+"""Admission control: decide, deterministically, whether a job gets in.
+
+Admission is pure bookkeeping over the current queue/running population --
+no clocks, no randomness -- so the same service state always produces the
+same verdict and the same ``Retry-After``.  That determinism is load-bearing:
+the chaos harness's overflow-storm scenario asserts the rejection pattern
+exactly, and clients can trust the hint instead of inventing their own
+backoff jitter on top.
+
+Three independent gates, checked in order:
+
+1. **Queue bound** -- at most ``max_queued`` jobs waiting.  The queue is
+   the service's only elastic buffer; beyond it, shedding beats buffering
+   (an unbounded queue converts overload into memory growth plus
+   unbounded latency, the classic failure the paper's "millions of queued
+   cells" framing warns about).
+2. **Tenant job budget** -- at most ``tenant_max_active`` queued+running
+   jobs per tenant, so one noisy tenant cannot occupy the whole queue.
+3. **Tenant cell budget** -- at most ``tenant_max_cells`` *cells* across
+   a tenant's queued+running jobs; jobs are cheap, grids are not, and the
+   cell count is the real cost proxy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AdmissionPolicy", "AdmissionDecision"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Verdict for one submission attempt."""
+
+    admitted: bool
+    #: machine-readable rejection reason ("queue_full" /
+    #: "tenant_jobs_exhausted" / "tenant_cells_exhausted"); None if admitted
+    reason: Optional[str] = None
+    #: deterministic client back-off hint, whole seconds >= 1
+    retry_after_s: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """The service's admission limits (all enforced per decision)."""
+
+    #: jobs allowed to wait in the queue (running jobs excluded)
+    max_queued: int = 16
+    #: queued+running jobs one tenant may hold
+    tenant_max_active: int = 4
+    #: cells across one tenant's queued+running jobs
+    tenant_max_cells: int = 512
+    #: base of the Retry-After computation, seconds
+    retry_after_base_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_queued < 1:
+            raise ConfigurationError(
+                f"max_queued must be >= 1, got {self.max_queued!r}"
+            )
+        if self.tenant_max_active < 1:
+            raise ConfigurationError(
+                f"tenant_max_active must be >= 1,"
+                f" got {self.tenant_max_active!r}"
+            )
+        if self.tenant_max_cells < 1:
+            raise ConfigurationError(
+                f"tenant_max_cells must be >= 1,"
+                f" got {self.tenant_max_cells!r}"
+            )
+        if self.retry_after_base_s <= 0:
+            raise ConfigurationError(
+                f"retry_after_base_s must be positive,"
+                f" got {self.retry_after_base_s!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def retry_after(self, queued: int, running: int) -> int:
+        """Deterministic back-off hint for a shed submission.
+
+        A pure function of the congestion actually observed -- the more
+        work ahead of the client, the longer the hint -- rounded up to
+        whole seconds (RFC 9110 allows only integers) and never below 1.
+        """
+        backlog = max(0, queued) + max(0, running)
+        return max(1, math.ceil(self.retry_after_base_s * (backlog + 1)))
+
+    def decide(
+        self,
+        tenant: str,
+        n_cells: int,
+        queued: int,
+        running: int,
+        tenant_active: Dict[str, int],
+        tenant_cells: Dict[str, int],
+    ) -> AdmissionDecision:
+        """Admit or shed one submission against the current population.
+
+        ``queued``/``running`` are global job counts; ``tenant_active`` and
+        ``tenant_cells`` map tenant -> queued+running jobs / cells.
+        """
+        hint = self.retry_after(queued, running)
+        if queued >= self.max_queued:
+            return AdmissionDecision(False, "queue_full", hint)
+        if tenant_active.get(tenant, 0) >= self.tenant_max_active:
+            return AdmissionDecision(False, "tenant_jobs_exhausted", hint)
+        if tenant_cells.get(tenant, 0) + n_cells > self.tenant_max_cells:
+            return AdmissionDecision(False, "tenant_cells_exhausted", hint)
+        return AdmissionDecision(True)

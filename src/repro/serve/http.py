@@ -1,0 +1,231 @@
+"""A minimal asyncio HTTP/1.1 layer for the sweep service.
+
+Stdlib-only by design (the repo's no-new-runtime-deps rule), and much
+smaller than a framework: one connection handler that parses a single
+request, dispatches it, writes the response, and closes.  Every
+connection is ``Connection: close`` -- the service's clients are sweep
+submitters and SSE streams, not latency-critical keep-alive traffic, and
+one-shot connections make the failure modes (half-open sockets after a
+``kill -9``, disconnecting SSE clients) trivially clean.
+
+Robustness properties the chaos scenarios lean on:
+
+* header and body reads sit behind hard deadlines, so a slow-loris client
+  holds a connection for at most ``request_timeout_s`` before a 408;
+* oversized request lines/headers/bodies are shed with 431/413 instead of
+  buffering without bound;
+* writes to a disconnected peer surface as :class:`ClientGone`, which
+  handlers treat as a no-op (the job a stream was watching is unaffected).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "HttpError",
+    "ClientGone",
+    "Request",
+    "Response",
+    "read_request",
+    "write_response",
+    "start_sse",
+    "send_sse_event",
+]
+
+#: Hard ceilings on what one request may occupy before it is shed.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK", 201: "Created", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    408: "Request Timeout", 409: "Conflict", 413: "Content Too Large",
+    429: "Too Many Requests", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Maps straight to an error response (status + JSON message)."""
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None):
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+        super().__init__(f"{status}: {message}")
+
+
+class ClientGone(Exception):
+    """The peer disconnected mid-response (normal for SSE consumers)."""
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> object:
+        if not self.body:
+            raise HttpError(400, "request body must be JSON, got empty body")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise HttpError(400, f"request body is not valid JSON: {error}")
+
+
+@dataclass
+class Response:
+    status: int = 200
+    payload: Optional[object] = None
+    headers: Dict[str, str] = field(default_factory=dict)
+    #: pre-encoded body overriding ``payload`` (used by /metrics)
+    raw: Optional[bytes] = None
+    content_type: str = "application/json"
+
+
+def _parse_query(raw: str) -> Dict[str, str]:
+    query: Dict[str, str] = {}
+    for pair in raw.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        query[key] = value
+    return query
+
+
+async def read_request(
+    reader: asyncio.StreamReader, timeout_s: float
+) -> Optional[Request]:
+    """Parse one request; None on immediate EOF (client connected and left).
+
+    The whole head and the whole body must each arrive within
+    ``timeout_s`` -- a drip-feeding client (slow-loris) is shed with 408
+    rather than being allowed to pin a connection open indefinitely.
+    """
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=timeout_s
+        )
+    except asyncio.TimeoutError:
+        raise HttpError(408, "request head not received in time")
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request head too large")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean pre-request disconnect
+        raise HttpError(400, "connection closed mid-request")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(431, "request head too large")
+
+    try:
+        text = head.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, target, version = request_line.split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+    headers: Dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    path, _, raw_query = target.partition("?")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length_header!r}")
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {length_header!r}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body too large")
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=timeout_s
+            )
+        except asyncio.TimeoutError:
+            raise HttpError(408, "request body not received in time")
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "connection closed mid-body")
+    return Request(
+        method=method.upper(),
+        path=path,
+        query=_parse_query(raw_query),
+        headers=headers,
+        body=body,
+    )
+
+
+def _head_bytes(
+    status: int, headers: Dict[str, str]
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def _drain(writer: asyncio.StreamWriter) -> None:
+    try:
+        await writer.drain()
+    except (ConnectionError, BrokenPipeError, RuntimeError) as error:
+        raise ClientGone(str(error))
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response
+) -> None:
+    """Serialise one complete (non-streaming) response."""
+    if response.raw is not None:
+        body = response.raw
+    elif response.payload is None:
+        body = b""
+    else:
+        body = (
+            json.dumps(response.payload, sort_keys=True) + "\n"
+        ).encode("utf-8")
+    headers = {
+        "Content-Type": response.content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    headers.update(response.headers)
+    writer.write(_head_bytes(response.status, headers) + body)
+    await _drain(writer)
+
+
+async def start_sse(writer: asyncio.StreamWriter) -> None:
+    """Open a Server-Sent Events stream (terminated by connection close)."""
+    writer.write(_head_bytes(200, {
+        "Content-Type": "text/event-stream",
+        "Cache-Control": "no-store",
+        "Connection": "close",
+    }))
+    await _drain(writer)
+
+
+async def send_sse_event(
+    writer: asyncio.StreamWriter, event: str, data: object
+) -> None:
+    """One ``event:``/``data:`` frame; raises :class:`ClientGone` if the
+    consumer disconnected (the stream's only exit besides job completion)."""
+    if writer.is_closing():
+        raise ClientGone("SSE consumer closed the connection")
+    payload = json.dumps(data, sort_keys=True)
+    writer.write(f"event: {event}\ndata: {payload}\n\n".encode("utf-8"))
+    await _drain(writer)

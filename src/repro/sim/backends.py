@@ -86,6 +86,10 @@ class SweepJob:
     timings: Dict[str, float]
     drain: "object"  # _DrainFlag
     incidents: List["object"] = field(default_factory=list)
+    #: failure counterpart of ``progress``: called as ``on_failure(cell,
+    #: report)`` whenever a cell is parked as a FailureReport, so callers
+    #: streaming sweep progress (the serving tier) see failed cells too.
+    on_failure: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     # Shared result/failure/drain bookkeeping
@@ -107,6 +111,8 @@ class SweepJob:
 
     def record_failure(self, cell: Cell, failure) -> None:
         self.failure_map[cell] = failure
+        if self.on_failure is not None:
+            self.on_failure(cell, failure)
 
     def pending_after(self) -> List[Cell]:
         """Cells still unaccounted for (used by drain summaries)."""

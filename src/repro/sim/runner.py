@@ -835,10 +835,19 @@ def _backoff_delay_s(
 
 
 class _DrainFlag:
-    """Set by the signal handler; checked at every sweep barrier."""
+    """Set by the signal handler; checked at every sweep barrier.
 
-    def __init__(self):
+    ``external`` is an optional caller-owned stop condition -- anything
+    with an ``is_set()`` method, typically a :class:`threading.Event` --
+    that requests the same graceful drain as SIGTERM from outside the
+    signal machinery.  The serving tier uses it for job cancellation and
+    service-level drains, where the sweep runs off the main thread and no
+    signal handler can be installed.
+    """
+
+    def __init__(self, external=None):
         self._event = threading.Event()
+        self._external = external
         self.signum = 0
 
     def request(self, signum: int) -> None:
@@ -846,10 +855,15 @@ class _DrainFlag:
         self._event.set()
 
     def is_set(self) -> bool:
-        return self._event.is_set()
+        if self._event.is_set():
+            return True
+        return self._external is not None and self._external.is_set()
 
     @property
     def signal_name(self) -> str:
+        if self.signum == 0:
+            # Externally requested stop (cancellation / service drain).
+            return "stop-request"
         try:
             return signal.Signals(self.signum).name
         except ValueError:  # pragma: no cover - synthetic signum
@@ -1721,6 +1735,8 @@ class BenchmarkRunner:
         progress: Optional[Callable[[str, RelativeMetrics], None]] = None,
         resilience: Optional[ResilienceConfig] = None,
         seeds: Optional[Sequence[Optional[int]]] = None,
+        stop=None,
+        on_failure: Optional[Callable] = None,
     ) -> TechniqueSummary:
         """Run one technique over a (benchmark, seed) grid and aggregate.
 
@@ -1753,6 +1769,17 @@ class BenchmarkRunner:
         ``<checkpoint>.shutdown.json`` summary), and raises
         :class:`~repro.errors.SweepInterrupted` -- the CLI exits nonzero
         but the run resumes with ``--resume``.
+
+        ``stop`` is an optional external stop condition (anything with an
+        ``is_set()`` method, typically a :class:`threading.Event`): when it
+        becomes set the sweep drains exactly as it would on SIGTERM, at the
+        next cell barrier, raising :class:`~repro.errors.SweepInterrupted`.
+        The serving tier (:mod:`repro.serve`) uses it for job cancellation
+        and service drains, where sweeps run off the main thread and no
+        signal handler can be installed.  ``on_failure`` is the failure
+        counterpart of ``progress``: called as ``on_failure(cell, report)``
+        whenever a cell is parked as a :class:`FailureReport`, on every
+        backend.
         """
         if self._closed:
             raise HarnessError(
@@ -1825,7 +1852,7 @@ class BenchmarkRunner:
             }
 
             incidents: List[FailureReport] = []
-            drain = _DrainFlag()
+            drain = _DrainFlag(external=stop)
             trace_store = self._trace_layer(resilience)
             trace_stats_before = (
                 dict(trace_store.stats) if trace_store is not None else None
@@ -1847,6 +1874,7 @@ class BenchmarkRunner:
                     timings=timings,
                     drain=drain,
                     incidents=incidents,
+                    on_failure=on_failure,
                 )
                 backend.execute(job)
             timings["execute"] = time.perf_counter() - t_execute
