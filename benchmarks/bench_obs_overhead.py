@@ -1,16 +1,26 @@
 """Bench: observability overhead, disabled and enabled.
 
-The obs layer's contract is "free when off": with no ``--trace-out`` or
-``--metrics-out`` every instrumented seam is one module-attribute read.
-This bench times the same sequential sweep three ways -- baseline
-(obs never imported into the hot path beyond the None checks), obs
-explicitly disabled, and obs fully enabled (trace + metrics) -- and
-asserts the disabled path stays within the 2% budget of the baseline
-(noise-floored by taking the best of several repeats), while also
-reporting what full instrumentation actually costs.
+The obs layer's contract is "free when off": with no ``--trace-out``,
+``--metrics-out`` or ``--profile-out`` every instrumented seam is one
+module-attribute read.  This bench times the same sequential sweep four
+ways -- baseline (obs never imported into the hot path beyond the None
+checks), obs explicitly disabled, obs fully enabled (trace + metrics),
+and the sampling profiler on top -- and asserts the disabled path stays
+within the 2% budget of the baseline (noise-floored by taking the best
+of several repeats), while also reporting what full instrumentation
+actually costs.
+
+When ``BENCH_OBS_OUT`` is set, the measurements are written there as a
+``BENCH_obs.json`` artifact (same schema as ``BENCH_sweep.json``, with
+the baseline leg labelled ``sequential``) so ``tools/bench_gate.py`` and
+``tools/bench_history.py`` can gate and trend the obs overhead like any
+other benchmark.
 """
 
 import functools
+import json
+import os
+import platform
 import time
 
 from repro import obs
@@ -56,6 +66,37 @@ def _interleaved_best(repeats, first, second):
     return best_first, best_second
 
 
+def _write_artifact(path, cells, timings):
+    """BENCH_obs.json in the BENCH_sweep schema (gate/history ready)."""
+    payload = {
+        "schema": 1,
+        "grid": {
+            "benchmarks": list(BENCH_BENCHMARKS),
+            "cells": cells,
+            "n_cycles": BENCH_CYCLES,
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "backends": {
+            label: {
+                "wall_s": round(wall, 4),
+                "cells_per_s": round(cells / wall, 3) if wall > 0 else None,
+            }
+            for label, wall in timings.items()
+        },
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"bench artifact written: {path}")
+
+
 def test_bench_obs_overhead(benchmark, tmp_path):
     def enabled_sweep():
         obs.configure(
@@ -67,11 +108,23 @@ def test_bench_obs_overhead(benchmark, tmp_path):
         finally:
             obs.finalize()
 
+    def profiled_sweep():
+        obs.configure(
+            trace_out=str(tmp_path / "trace.json"),
+            metrics_out=str(tmp_path / "metrics.json"),
+            profile_out=str(tmp_path / "profile.json"),
+        )
+        try:
+            _sweep_once()
+        finally:
+            obs.finalize()
+
     baseline, disabled = run_once(
         benchmark,
         lambda: _interleaved_best(REPEATS, _sweep_once, _sweep_once),
     )
     enabled = min(_timed(enabled_sweep) for _ in range(2))
+    profiled = min(_timed(profiled_sweep) for _ in range(2))
 
     overhead = disabled - baseline
     relative = overhead / baseline
@@ -83,6 +136,17 @@ def test_bench_obs_overhead(benchmark, tmp_path):
           f"  ({relative:+.2%} vs baseline)")
     print(f"obs fully enabled   : {enabled:8.3f} s"
           f"  ({(enabled - baseline) / baseline:+.2%} vs baseline)")
+    print(f"obs + profiler      : {profiled:8.3f} s"
+          f"  ({(profiled - baseline) / baseline:+.2%} vs baseline)")
+
+    artifact = os.environ.get("BENCH_OBS_OUT")
+    if artifact:
+        _write_artifact(artifact, len(BENCH_BENCHMARKS), {
+            "sequential": baseline,
+            "obs_disabled": disabled,
+            "obs_enabled": enabled,
+            "obs_profiled": profiled,
+        })
 
     # Two timings of the *same* disabled path must agree within the
     # budget -- this is the "no-op by default" contract.  The absolute
@@ -97,4 +161,10 @@ def test_bench_obs_overhead(benchmark, tmp_path):
     assert enabled <= 1.5 * baseline + ABSOLUTE_FLOOR_S, (
         f"enabled-path cost {(enabled - baseline) / baseline:.2%}"
         f" suggests per-cycle instrumentation leaked into the hot loop"
+    )
+    # The sampler only *reads* frames every few ms; if profiling blows
+    # past this bound it has started interfering with the sweep itself.
+    assert profiled <= 1.5 * baseline + ABSOLUTE_FLOOR_S, (
+        f"profiled-path cost {(profiled - baseline) / baseline:.2%}"
+        f" suggests the sampler is perturbing the hot loop"
     )

@@ -212,6 +212,17 @@ def _cmd_serve(args) -> int:
     return asyncio.run(service.run())
 
 
+def _cmd_obs_report(args) -> int:
+    from repro.obs import report as obs_report
+
+    argv = ["--trace", args.trace, "--out", args.out, "--top", str(args.top)]
+    if args.metrics:
+        argv += ["--metrics", args.metrics]
+    if args.profile:
+        argv += ["--profile", args.profile]
+    return obs_report.main(argv)
+
+
 def _cmd_experiment(args) -> int:
     from repro.experiments.registry import resilience_from_args, run_experiment
 
@@ -331,6 +342,27 @@ def build_parser() -> argparse.ArgumentParser:
                             " listener is bound")
     obs.add_observability_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    obs_cmd = commands.add_parser(
+        "obs", help="observability tooling (see docs/observability.md)"
+    )
+    obs_commands = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_commands.add_parser(
+        "report",
+        help="render a self-contained HTML ops report from trace/metrics/"
+             "profile artifacts",
+    )
+    obs_report.add_argument("--trace", required=True, metavar="PATH",
+                            help="merged Chrome trace JSON (--trace-out)")
+    obs_report.add_argument("--metrics", metavar="PATH", default=None,
+                            help="metrics JSON (--metrics-out)")
+    obs_report.add_argument("--profile", metavar="PATH", default=None,
+                            help="speedscope profile JSON (--profile-out)")
+    obs_report.add_argument("--out", metavar="PATH", default="obs_report.html",
+                            help="output HTML path (default obs_report.html)")
+    obs_report.add_argument("--top", type=int, default=10,
+                            help="rows in the slowest-cell/stack tables")
+    obs_report.set_defaults(func=_cmd_obs_report)
 
     experiment = commands.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("name", help="e.g. table3, figure5")

@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.dist.protocol import encode_blob, pickle_blob, unpickle_blob
 from repro.dist.scheduler import LeaseQueue, SchedulerServer
+from repro.obs import context as obs_context
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.sim.backends import (
@@ -345,6 +346,19 @@ class DistributedBackend(SweepBackend):
         # any other worker is free.
         last_loser: Dict[Cell, str] = {}
 
+        # Trace-context propagation: each lease derives a deterministic
+        # child of the sweep context and ships it in the lease frame; the
+        # worker chains its cell span under it.  The lease span itself is
+        # written when the result lands (span_at), on a synthetic track
+        # per worker so concurrent leases do not overlap.
+        dispatch_ctx = obs_context.current_context()
+        lease_seq: Dict[Cell, int] = {}
+        lease_meta: Dict[Cell, tuple] = {}
+
+        def worker_tid(worker_id: str) -> int:
+            digits = "".join(c for c in worker_id if c.isdigit())
+            return 900_000 + (int(digits) if digits else 0)
+
         def dispatch() -> None:
             now = time.monotonic()
             while lease_queue.pending or cell_queue.queue:
@@ -378,6 +392,21 @@ class DistributedBackend(SweepBackend):
                 if lease is None:
                     return
                 cell = lease.cell
+                lease_ctx = None
+                if dispatch_ctx is not None:
+                    attempt = lease_seq.get(cell, 0)
+                    lease_seq[cell] = attempt + 1
+                    lease_ctx = dispatch_ctx.child(
+                        f"lease|{cell[0]}|{cell[1]}|{attempt}"
+                    )
+                    lease_meta[cell] = (lease_ctx, now, worker_id)
+                    if tracer is not None:
+                        cell_ctx = lease_ctx.child(
+                            f"cell|{cell[0]}|{job.technique}|{cell[1]}"
+                        )
+                        tracer.flow_start(
+                            cell_ctx.span_id, ts=now, tid=worker_tid(worker_id)
+                        )
                 sent = server.send(worker_id, {
                     "type": "lease",
                     "benchmark": cell[0],
@@ -390,6 +419,7 @@ class DistributedBackend(SweepBackend):
                     "backoff_base_s": resilience.backoff_base_s,
                     "backoff_max_s": resilience.backoff_max_s,
                     "lease_timeout_s": resilience.lease_timeout_s,
+                    "ctx": None if lease_ctx is None else lease_ctx.to_dict(),
                 })
                 if not sent:
                     worker_gone(
@@ -417,6 +447,26 @@ class DistributedBackend(SweepBackend):
                     "late or duplicated results dropped",
                 )
                 return
+            meta = lease_meta.pop(cell, None)
+            if meta is not None and tracer is not None:
+                lease_ctx, dispatched_at, lease_worker = meta
+                tracer.span_at(
+                    f"lease {cell[0]}",
+                    cat=obs_trace.CAT_DIST,
+                    started=dispatched_at,
+                    ended=time.monotonic(),
+                    args={
+                        "benchmark": cell[0],
+                        "seed": cell[1],
+                        "worker": lease_worker,
+                        "outcome": (
+                            "failed" if message.get("failure") is not None
+                            else "completed"
+                        ),
+                    },
+                    ctx=lease_ctx,
+                    tid=worker_tid(lease_worker),
+                )
             blob = message.get("telemetry")
             _merge_worker_telemetry(unpickle_blob(blob) if blob else None)
             failure = message.get("failure")

@@ -135,7 +135,9 @@ def _execute_lease(lease: dict, renew) -> dict:
     snapshot -- but reports attempt boundaries through ``renew`` (the
     lease-extension channel) instead of a shared-memory heartbeat map.
     """
+    from repro.obs import context as obs_context
     from repro.obs import metrics as obs_metrics
+    from repro.obs import profile as obs_profile
     from repro.sim.runner import BenchmarkRunner, ResilienceConfig
 
     spec_blob = lease["spec"]
@@ -166,14 +168,23 @@ def _execute_lease(lease: dict, renew) -> dict:
     registry = obs_metrics.active_registry()
     if registry is not None:
         registry.reset()
-    metrics, failure = runner._run_cell(
-        benchmark,
-        lease["technique"],
-        factory,
-        resilience,
-        base_seed=seed,
-        on_attempt=lambda attempt: renew(benchmark, seed),
-    )
+    # The scheduler's lease context rides in the lease frame; installing
+    # it (marked remote) chains the cell span under the lease span and
+    # closes the scheduler's flow arrow.
+    with obs_context.use_context(
+        obs_context.TraceContext.from_dict(lease.get("ctx")), remote=True
+    ):
+        metrics, failure = runner._run_cell(
+            benchmark,
+            lease["technique"],
+            factory,
+            resilience,
+            base_seed=seed,
+            on_attempt=lambda attempt: renew(benchmark, seed),
+        )
+    profiler = obs_profile.active_profiler()
+    if profiler is not None:
+        profiler.flush_shard()
     telemetry = registry.snapshot() if registry is not None else None
     return {
         "type": "result",

@@ -18,10 +18,18 @@ individually:
 * ``--log-level DEBUG`` lowers the shared ``repro`` logger's threshold
   and switches it to a structured format (:mod:`repro.obs.log`).
 
+* ``--profile-out profile.json`` starts the stdlib sampling profiler
+  (:mod:`repro.obs.profile`) and, at :func:`finalize`, writes a
+  speedscope JSON (https://speedscope.app) plus a collapsed-stack
+  sibling (``profile.json.collapsed``).
+
 Worker processes inherit the configuration through
 :func:`worker_spec` / :func:`init_worker` (wired into the sweep pool
-initializer), writing their spans into their own shard files and shipping
-metric deltas back with each cell result.
+initializer and the dist welcome frame), writing their spans and profile
+samples into their own shard files and shipping metric deltas back with
+each cell result.  Trace spans carry deterministic
+:class:`~repro.obs.context.TraceContext` ids, so one job's lifecycle
+links across every process boundary.
 """
 
 from __future__ import annotations
@@ -32,11 +40,18 @@ import os
 from typing import Dict, List, Optional
 
 from repro.obs import log as log  # noqa: F401  (re-exported module)
+from repro.obs import profile as profile  # noqa: F401  (re-exported module)
+from repro.obs.context import TraceContext, current_context, use_context
 from repro.obs.log import configure_logging, get_logger, warn_once
 from repro.obs.metrics import (
     MetricsRegistry,
     active_registry,
     set_active_registry,
+)
+from repro.obs.profile import (
+    SamplingProfiler,
+    active_profiler,
+    set_active_profiler,
 )
 from repro.obs.trace import (
     Tracer,
@@ -55,16 +70,22 @@ __all__ = [
     "active_registry",
     "ensure_registry",
     "active_tracer",
+    "active_profiler",
     "worker_spec",
     "init_worker",
     "get_logger",
     "warn_once",
     "MetricsRegistry",
     "Tracer",
+    "SamplingProfiler",
+    "TraceContext",
+    "current_context",
+    "use_context",
 ]
 
 _trace_out: Optional[str] = None
 _metrics_out: Optional[str] = None
+_profile_out: Optional[str] = None
 
 
 def _clear_shards(shard_dir: str) -> None:
@@ -81,9 +102,10 @@ def configure(
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
     log_level: Optional[str] = None,
+    profile_out: Optional[str] = None,
 ) -> None:
     """Activate the requested observability layers in this process."""
-    global _trace_out, _metrics_out
+    global _trace_out, _metrics_out, _profile_out
     configure_logging(log_level)
     if trace_out is not None:
         _trace_out = trace_out
@@ -94,10 +116,20 @@ def configure(
         _metrics_out = metrics_out
         if active_registry() is None:
             set_active_registry(MetricsRegistry())
+    if profile_out is not None:
+        _profile_out = profile_out
+        profile.cleanup_shards(profile.shard_dir_for(profile_out))
+        profiler = SamplingProfiler(process_label="sweep")
+        set_active_profiler(profiler)
+        profiler.start()
 
 
 def is_configured() -> bool:
-    return active_tracer() is not None or active_registry() is not None
+    return (
+        active_tracer() is not None
+        or active_registry() is not None
+        or active_profiler() is not None
+    )
 
 
 def ensure_registry() -> MetricsRegistry:
@@ -124,10 +156,11 @@ def finalize(metadata: Optional[Dict[str, object]] = None) -> List[str]:
     """Export the configured artifacts and deactivate the subsystem.
 
     Returns the list of files written: the merged Chrome trace, the
-    metrics JSON and its Prometheus sibling (for whichever layers were
+    metrics JSON and its Prometheus sibling, and the speedscope profile
+    plus its collapsed-stack sibling (for whichever layers were
     configured).  Safe to call when nothing is configured (no-op).
     """
-    global _trace_out, _metrics_out
+    global _trace_out, _metrics_out, _profile_out
     written: List[str] = []
     tracer = active_tracer()
     if tracer is not None and _trace_out is not None:
@@ -146,10 +179,23 @@ def finalize(metadata: Optional[Dict[str, object]] = None) -> List[str]:
         with open(prom_path, "w") as handle:
             handle.write(registry.to_prometheus())
         written.append(prom_path)
+    profiler = active_profiler()
+    if profiler is not None and _profile_out is not None:
+        profiler.stop()
+        shard_dir = profile.shard_dir_for(_profile_out)
+        processes = profile.merge_profiles(profiler, shard_dir)
+        profile.write_speedscope(_profile_out, processes)
+        written.append(_profile_out)
+        collapsed_path = _profile_out + ".collapsed"
+        profile.write_collapsed(collapsed_path, processes)
+        written.append(collapsed_path)
+        profile.cleanup_shards(shard_dir)
     set_active_tracer(None)
     set_active_registry(None)
+    set_active_profiler(None)
     _trace_out = None
     _metrics_out = None
+    _profile_out = None
     return written
 
 
@@ -165,6 +211,8 @@ def worker_spec() -> Optional[dict]:
         spec["trace_shard_dir"] = shard_dir_for(_trace_out)
     if active_registry() is not None:
         spec["metrics"] = True
+    if active_profiler() is not None and _profile_out is not None:
+        spec["profile_shard_dir"] = profile.shard_dir_for(_profile_out)
     return spec or None
 
 
@@ -177,6 +225,16 @@ def init_worker(spec: Optional[dict]) -> None:
         set_active_tracer(Tracer(shard_dir, process_label="worker"))
     if spec.get("metrics"):
         set_active_registry(MetricsRegistry())
+    profile_shard_dir = spec.get("profile_shard_dir")
+    if profile_shard_dir and active_profiler() is None:
+        shard_path = os.path.join(
+            profile_shard_dir, f"pid-{os.getpid()}.json"
+        )
+        profiler = SamplingProfiler(
+            process_label="worker", shard_path=shard_path
+        )
+        set_active_profiler(profiler)
+        profiler.start()
 
 
 # ----------------------------------------------------------------------
@@ -200,6 +258,14 @@ def add_observability_flags(parser: argparse.ArgumentParser) -> None:
              " Prometheus text exposition next to it (.prom)",
     )
     parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="sample Python stacks across all processes and write a"
+             " speedscope JSON profile to PATH, plus a collapsed-stack"
+             " sibling (.collapsed)",
+    )
+    parser.add_argument(
         "--log-level",
         metavar="LEVEL",
         default=None,
@@ -215,5 +281,6 @@ def configure_from_args(args) -> bool:
         trace_out=getattr(args, "trace_out", None),
         metrics_out=getattr(args, "metrics_out", None),
         log_level=getattr(args, "log_level", None),
+        profile_out=getattr(args, "profile_out", None),
     )
     return is_configured()

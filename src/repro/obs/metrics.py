@@ -51,10 +51,28 @@ def _label_key(labels: Optional[Dict[str, str]]) -> LabelPairs:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus 0.0.4 text format.
+
+    Backslash first, then double-quote and newline -- otherwise the
+    backslashes introduced by the latter two would be doubled again.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape only backslash and newline (quotes are legal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(pairs: LabelPairs) -> str:
     if not pairs:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
     return "{" + body + "}"
 
 
@@ -277,7 +295,7 @@ class MetricsRegistry:
             for name in sorted(self._metrics):
                 metric = self._metrics[name]
                 if metric.help:
-                    lines.append(f"# HELP {name} {metric.help}")
+                    lines.append(f"# HELP {name} {_escape_help(metric.help)}")
                 lines.append(f"# TYPE {name} {metric.kind}")
                 if isinstance(metric, Histogram):
                     cumulative = metric.cumulative_counts()

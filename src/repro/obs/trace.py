@@ -39,11 +39,15 @@ __all__ = [
 ]
 
 #: Categories used by the built-in instrumentation (documented in
-#: docs/observability.md): phase/cell spans and supervision instants.
+#: docs/observability.md): phase/cell spans and supervision instants,
+#: serve request and dist lease spans, and cross-process flow arrows.
 CAT_PHASE = "phase"
 CAT_CELL = "cell"
 CAT_SIM = "sim"
 CAT_SUPERVISION = "supervision"
+CAT_SERVE = "serve"
+CAT_DIST = "dist"
+CAT_FLOW = "flow"
 
 
 def shard_dir_for(trace_path: str) -> str:
@@ -81,7 +85,8 @@ class Tracer:
 
     def _emit_locked(self, event: dict) -> None:
         event["pid"] = self._pid
-        event["tid"] = threading.get_ident() % 1_000_000
+        if "tid" not in event:  # synthetic per-worker lease tracks keep theirs
+            event["tid"] = threading.get_ident() % 1_000_000
         event["seq"] = self._seq
         self._seq += 1
         self._handle.write(json.dumps(event, sort_keys=True) + "\n")
@@ -97,14 +102,22 @@ class Tracer:
     # ------------------------------------------------------------------
     @contextlib.contextmanager
     def span(
-        self, name: str, cat: str = CAT_PHASE, args: Optional[dict] = None
+        self,
+        name: str,
+        cat: str = CAT_PHASE,
+        args: Optional[dict] = None,
+        ctx=None,
     ) -> Iterator[dict]:
         """Record a complete span around the enclosed block.
 
         Yields the mutable ``args`` dict, so the block can attach results
-        (attempt counts, outcome) that are only known at exit.
+        (attempt counts, outcome) that are only known at exit.  A
+        ``TraceContext`` passed as ``ctx`` stamps its deterministic
+        trace_id/span_id/parent_id triple into the args.
         """
         span_args: dict = dict(args or {})
+        if ctx is not None:
+            span_args.update(ctx.span_args())
         started = time.monotonic()
         try:
             yield span_args
@@ -118,6 +131,68 @@ class Tracer:
                 "dur": round(duration * 1e6, 3),
                 "args": span_args,
             })
+
+    def span_at(
+        self,
+        name: str,
+        cat: str,
+        started: float,
+        ended: float,
+        args: Optional[dict] = None,
+        ctx=None,
+        tid: Optional[int] = None,
+    ) -> None:
+        """Record a complete span from explicit ``time.monotonic`` stamps.
+
+        Used where the span is only known after the fact: the serve HTTP
+        request span (status known once the response is written) and the
+        dist scheduler lease span (closed when the result frame lands).
+        An explicit ``tid`` places the span on a synthetic track (one per
+        dist worker) so concurrent leases do not overlap on one track.
+        """
+        span_args: dict = dict(args or {})
+        if ctx is not None:
+            span_args.update(ctx.span_args())
+        event = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "ts": round(started * 1e6, 3),
+            "dur": round(max(ended - started, 0.0) * 1e6, 3),
+            "args": span_args,
+        }
+        if tid is not None:
+            event["tid"] = tid
+        self._write(event)
+
+    def flow_start(
+        self, flow_id: str, name: str = "dispatch",
+        ts: Optional[float] = None, tid: Optional[int] = None,
+    ) -> None:
+        """Open a flow arrow at the dispatch site (inside the open span)."""
+        event = {
+            "ph": "s",
+            "name": name,
+            "cat": CAT_FLOW,
+            "id": flow_id,
+            "ts": round((time.monotonic() if ts is None else ts) * 1e6, 3),
+            "args": {},
+        }
+        if tid is not None:
+            event["tid"] = tid
+        self._write(event)
+
+    def flow_end(self, flow_id: str, name: str = "dispatch") -> None:
+        """Close a flow arrow inside the receiving span (other process)."""
+        self._write({
+            "ph": "f",
+            "bp": "e",
+            "name": name,
+            "cat": CAT_FLOW,
+            "id": flow_id,
+            "ts": round(time.monotonic() * 1e6, 3),
+            "args": {},
+        })
 
     def instant(
         self, name: str, cat: str = CAT_SUPERVISION, args: Optional[dict] = None

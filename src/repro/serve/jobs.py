@@ -89,6 +89,10 @@ class JobRecord:
     total_cells: int = 0
     result: Optional[dict] = None
     error: Optional[dict] = None
+    #: trace-context triple (trace_id/span_id/parent_id) rooted at
+    #: submission, so adopted jobs keep their ids across restarts; None
+    #: when the submit was untraced
+    trace: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -107,6 +111,7 @@ class JobRecord:
             "total_cells": self.total_cells,
             "result": self.result,
             "error": self.error,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -115,7 +120,7 @@ class JobRecord:
             "job_id", "tenant", "spec", "state", "idempotency_key",
             "submitted_at", "started_at", "finished_at", "adoptions",
             "cancel_requested", "completed_cells", "failed_cells",
-            "total_cells", "result", "error",
+            "total_cells", "result", "error", "trace",
         )})
 
     @property

@@ -50,6 +50,7 @@ _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 #: *cell* budgets are enforced separately by admission control).
 _MAX_BENCHMARKS = 64
 _MAX_SEEDS = 64
+_MAX_WORKERS = 16
 
 
 def _reject(message: str) -> None:
@@ -95,6 +96,12 @@ class JobSpec:
     #: cell).  Production jobs leave it 0; the chaos harness uses it to
     #: hold the kill-window open deterministically on fast grids.
     pace_s: float = 0.0
+    #: sweep execution backend: "auto" picks sequential/pool from
+    #: ``workers``; "dist" leases cells to worker subprocesses.  Every
+    #: backend yields byte-identical aggregates.
+    backend: str = "auto"
+    #: worker processes for the pool/dist backends; 1 = in-process
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.technique not in TECHNIQUES:
@@ -147,6 +154,22 @@ class JobSpec:
             )
         if self.pace_s < 0 or self.pace_s > 5.0:
             _reject(f"pace_s must be within [0, 5], got {self.pace_s!r}")
+        # Hardcoded choices (not imported from the backend registry) keep
+        # spec validation import-light and the wire contract explicit.
+        if self.backend not in ("auto", "sequential", "pool", "dist"):
+            _reject(
+                f"backend must be one of ['auto', 'sequential', 'pool',"
+                f" 'dist'], got {self.backend!r}"
+            )
+        if (
+            isinstance(self.workers, bool)
+            or not isinstance(self.workers, int)
+            or not 1 <= self.workers <= _MAX_WORKERS
+        ):
+            _reject(
+                f"workers must be an integer in [1, {_MAX_WORKERS}],"
+                f" got {self.workers!r}"
+            )
         _, param_table = TECHNIQUES[self.technique]
         known = {key for key, _, _ in param_table}
         extra = sorted(set(self.params) - known)
@@ -167,6 +190,7 @@ class JobSpec:
         allowed = {
             "technique", "benchmarks", "seeds", "n_cycles", "warmup_cycles",
             "params", "tenant", "max_retries", "deadline_s", "pace_s",
+            "backend", "workers",
         }
         extra = sorted(set(data) - allowed)
         if extra:
@@ -209,6 +233,11 @@ class JobSpec:
             ),
             pace_s=_as_number(data.get("pace_s", 0.0), "pace_s"),
         )
+        backend = data.get("backend", "auto")
+        if not isinstance(backend, str):
+            _reject(f"backend must be a string, got {backend!r}")
+        kwargs["backend"] = backend
+        kwargs["workers"] = _as_int(data.get("workers", 1), "workers")
         tenant = data.get("tenant", "default")
         if not isinstance(tenant, str):
             _reject(f"tenant must be a string, got {tenant!r}")

@@ -35,6 +35,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro import obs
+from repro.obs import context as obs_context
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
 from repro.errors import (
     JobSpecError,
     ReproError,
@@ -138,6 +141,7 @@ class SweepService:
         self._shutdown = asyncio.Event()
         self.exit_code = 0
         self.bound_port: Optional[int] = None
+        self._started_monotonic = time.monotonic()
 
     # ------------------------------------------------------------------
     # Metrics helpers
@@ -237,6 +241,28 @@ class SweepService:
             total_cells=spec.n_cells,
             idempotency_key=idempotency_key,
         )
+        # Root the job's trace context: under the client's traceparent
+        # when one was sent, else a fresh trace named after the job.  The
+        # context is persisted on the record so a crash-adopted job keeps
+        # its ids, and the job thread chains the sweep under it.
+        tracer = obs.active_tracer()
+        header_ctx = obs_context.TraceContext.from_traceparent(
+            request.headers.get("traceparent")
+        )
+        if tracer is not None or header_ctx is not None:
+            request_ctx = (
+                header_ctx.child("http|POST|/jobs")
+                if header_ctx is not None
+                else obs_context.TraceContext.root(f"job|{record.job_id}")
+            )
+            request.trace_context = request_ctx
+            job_ctx = request_ctx.child(f"job|{record.job_id}")
+            record = self.store.update(
+                record.job_id,
+                lambda r: setattr(r, "trace", job_ctx.to_dict()),
+            )
+            if tracer is not None:
+                tracer.flow_start(job_ctx.span_id)
         self._queue.append(record.job_id)
         self.registry.counter(
             "serve_jobs_submitted_total", help="admitted job submissions"
@@ -313,6 +339,47 @@ class SweepService:
     def _handle_health(self) -> Response:
         return Response(200, {"status": "ok"})
 
+    def _handle_debug_vars(self) -> Response:
+        """Lightweight introspection snapshot (expvar-style)."""
+        self._sync_gauges()
+        return Response(200, {
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "draining": self._draining,
+            "queue_depth": len(self._queue),
+            "running_jobs": sorted(self._active),
+            "jobs_total": len(self.store.list_records()),
+            "tracing": obs.active_tracer() is not None,
+            "profiling": obs_profile.active_profiler() is not None,
+            "metrics": self.registry.to_dict(),
+        })
+
+    def _handle_debug_profile(self) -> Response:
+        """Speedscope snapshot of the live profiler (this process only)."""
+        profiler = obs_profile.active_profiler()
+        if profiler is None:
+            raise HttpError(
+                409, "profiler is off; start the service with --profile-out"
+            )
+        processes = [{
+            "pid": os.getpid(),
+            "label": profiler.process_label,
+            "samples": [
+                [label, list(stack), count]
+                for (label, stack), count in sorted(
+                    profiler.snapshot().items()
+                )
+            ],
+        }]
+        return Response(
+            200,
+            raw=json.dumps(
+                obs_profile.speedscope_payload(processes),
+                separators=(",", ":"),
+            ).encode("utf-8"),
+            content_type="application/json",
+        )
+
     def _handle_ready(self) -> Response:
         if self._draining:
             raise HttpError(503, "draining")
@@ -372,6 +439,12 @@ class SweepService:
         if path == "/metrics" and method == "GET":
             await write_response(writer, self._handle_metrics())
             return "/metrics"
+        if path == "/debug/vars" and method == "GET":
+            await write_response(writer, self._handle_debug_vars())
+            return "/debug/vars"
+        if path == "/debug/profile" and method == "GET":
+            await write_response(writer, self._handle_debug_profile())
+            return "/debug/profile"
         if path == "/jobs" and method == "POST":
             await write_response(writer, self._handle_submit(request))
             return "/jobs"
@@ -393,7 +466,8 @@ class SweepService:
                 await self._handle_events(writer, job_id)
                 return "/jobs/{id}/events"
         raise HttpError(
-            405 if path in ("/jobs", "/healthz", "/readyz", "/metrics")
+            405 if path in ("/jobs", "/healthz", "/readyz", "/metrics",
+                            "/debug/vars", "/debug/profile")
             else 404,
             f"no route for {method} {path}",
         )
@@ -403,6 +477,8 @@ class SweepService:
     ) -> None:
         route, status = "unparsed", 500
         method = "?"
+        request = None
+        started = time.monotonic()
         try:
             request = await read_request(
                 reader, self.config.request_timeout_s
@@ -430,6 +506,19 @@ class SweepService:
                 ))
         finally:
             self._count_request(method, route, status)
+            tracer = obs.active_tracer()
+            if tracer is not None and request is not None:
+                # Written after the fact (the status is only known here);
+                # submits carry the context rooted in _handle_submit so
+                # the job span chains under this request span.
+                tracer.span_at(
+                    f"http {method} {route}",
+                    cat=obs_trace.CAT_SERVE,
+                    started=started,
+                    ended=time.monotonic(),
+                    args={"status": status, "path": request.path},
+                    ctx=getattr(request, "trace_context", None),
+                )
             with contextlib.suppress(ConnectionError):
                 writer.close()
                 with contextlib.suppress(asyncio.TimeoutError):
@@ -501,13 +590,16 @@ class SweepService:
         outcome = "failed"
         result: Optional[dict] = None
         error: Optional[dict] = None
+        job_ctx = obs_context.TraceContext.from_dict(active.record.trace)
+        tracer = obs.active_tracer()
         try:
             factory = controller_factory(spec)
             resilience = ResilienceConfig(
                 checkpoint_path=checkpoint,
                 resume=os.path.exists(checkpoint),
                 max_retries=spec.max_retries,
-                workers=1,
+                workers=spec.workers,
+                backend=spec.backend,
             )
             config = SweepConfig(
                 n_cycles=spec.n_cycles, warmup_cycles=spec.warmup_cycles
@@ -539,7 +631,25 @@ class SweepService:
                     "total_cells": record.total_cells,
                 })
 
-            with BenchmarkRunner(config) as runner:
+            with contextlib.ExitStack() as stack:
+                if job_ctx is not None:
+                    # The sweep chains under the persisted job context so
+                    # its spans -- across every backend and process --
+                    # share the submit request's trace_id.
+                    stack.enter_context(obs_context.use_context(job_ctx))
+                    if tracer is not None:
+                        stack.enter_context(tracer.span(
+                            f"job {job_id}",
+                            cat=obs_trace.CAT_SERVE,
+                            args={
+                                "job_id": job_id,
+                                "technique": spec.technique,
+                                "backend": spec.backend,
+                            },
+                            ctx=job_ctx,
+                        ))
+                        tracer.flow_end(job_ctx.span_id)
+                runner = stack.enter_context(BenchmarkRunner(config))
                 summary = runner.sweep(
                     factory,
                     benchmarks=list(spec.benchmarks),

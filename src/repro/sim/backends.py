@@ -40,6 +40,7 @@ from concurrent.futures import FIRST_COMPLETED, wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.errors import ConfigurationError, SweepInterrupted
+from repro.obs import context as obs_context
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.log import warn_once
@@ -356,8 +357,17 @@ class ProcessPoolBackend(SweepBackend):
         )
         pool_broken = False
 
+        dispatch_ctx = obs_context.current_context()
+
         def submit(cell):
             name, seed = cell
+            if dispatch_ctx is not None and tracer is not None:
+                # Open a flow arrow to the worker's cell span; both sides
+                # derive the same deterministic cell span id.
+                cell_ctx = dispatch_ctx.child(
+                    f"cell|{name}|{job.technique}|{seed}"
+                )
+                tracer.flow_start(cell_ctx.span_id)
             future = executor.submit(
                 _worker_run_cell,
                 spec_blob,
@@ -369,6 +379,7 @@ class ProcessPoolBackend(SweepBackend):
                 resilience.max_retries,
                 resilience.backoff_base_s,
                 resilience.backoff_max_s,
+                ctx=None if dispatch_ctx is None else dispatch_ctx.to_dict(),
             )
             inflight[future] = cell
 

@@ -61,7 +61,9 @@ from repro.errors import (
     WorkerLostError,
 )
 from repro import obs
+from repro.obs import context as obs_context
 from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 from repro.obs import trace as obs_trace
 from repro.obs.log import warn_once
 from repro.power.supply import PowerSupply
@@ -951,6 +953,7 @@ def _worker_run_cell(
     max_retries: int,
     backoff_base_s: float = 0.0,
     backoff_max_s: float = 30.0,
+    ctx: Optional[dict] = None,
 ):
     """Execute one sweep cell inside a pool worker.
 
@@ -1004,17 +1007,26 @@ def _worker_run_cell(
             backoff_base_s=backoff_base_s,
             backoff_max_s=backoff_max_s,
         )
-        metrics, failure = runner._run_cell(
-            benchmark,
-            technique,
-            factory,
-            resilience,
-            base_seed=seed,
-            on_attempt=lambda attempt: _worker_beat("run", cell_label),
-        )
+        # The dispatch context (the parent's sweep span) crosses the
+        # process boundary as a plain dict; installing it marked remote
+        # makes the cell span close the parent's pending flow arrow.
+        with obs_context.use_context(
+            obs_context.TraceContext.from_dict(ctx), remote=True
+        ):
+            metrics, failure = runner._run_cell(
+                benchmark,
+                technique,
+                factory,
+                resilience,
+                base_seed=seed,
+                on_attempt=lambda attempt: _worker_beat("run", cell_label),
+            )
         telemetry = registry.snapshot() if registry is not None else None
         return metrics, failure, telemetry
     finally:
+        profiler = obs_profile.active_profiler()
+        if profiler is not None:
+            profiler.flush_shard()
         _worker_beat("idle", cell_label)
 
 
@@ -1657,6 +1669,18 @@ class BenchmarkRunner:
         with contextlib.ExitStack() as stack:
             span_args: dict = {}
             if tracer is not None:
+                # The cell context is derived, not random, so the
+                # dispatching side (pool submit / dist scheduler) computes
+                # the same span id for its flow arrow, and fixed-seed runs
+                # produce identical linkage on every backend.
+                cell_ctx = None
+                remote = obs_context.context_is_remote()
+                parent_ctx = obs_context.current_context()
+                if parent_ctx is not None:
+                    cell_ctx = parent_ctx.child(
+                        f"cell|{benchmark}|{technique}|{base_seed}"
+                    )
+                    stack.enter_context(obs_context.use_context(cell_ctx))
                 span_args = stack.enter_context(tracer.span(
                     f"cell {benchmark}",
                     cat=obs_trace.CAT_CELL,
@@ -1665,6 +1689,17 @@ class BenchmarkRunner:
                         "technique": technique,
                         "seed": base_seed,
                     },
+                    ctx=cell_ctx,
+                ))
+                if cell_ctx is not None and remote:
+                    # Close the dispatcher's flow arrow from inside the
+                    # cell slice so Perfetto binds it to this span.
+                    tracer.flow_end(cell_ctx.span_id)
+            profiler = obs_profile.active_profiler()
+            if profiler is not None:
+                stack.enter_context(profiler.attribute(
+                    f"{benchmark}|{technique}|"
+                    f"{'-' if base_seed is None else base_seed}"
                 ))
             for attempt in range(attempts):
                 if attempt:
@@ -1836,6 +1871,23 @@ class BenchmarkRunner:
                     self, resilience, factory, len(pending)
                 )
                 workers = backend.workers
+            sweep_ctx = None
+            if tracer is not None:
+                # Deterministic sweep identity: under a serve job the
+                # context chains off the job/request span; standalone
+                # sweeps root a fresh trace.  Either way fixed-seed runs
+                # get byte-identical ids.
+                identity = f"sweep|{technique}|{ordinal}"
+                parent_ctx = obs_context.current_context()
+                sweep_ctx = (
+                    parent_ctx.child(identity)
+                    if parent_ctx is not None
+                    else obs_context.TraceContext.root(
+                        f"{identity}|{len(grid)}"
+                    )
+                )
+                sweep_args.update(sweep_ctx.span_args())
+                sweep_stack.enter_context(obs_context.use_context(sweep_ctx))
             sweep_args.update({
                 "technique": technique,
                 "backend": backend.name,

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Union
 from repro.core import kernel as core_kernel
 from repro.core.controller import NoiseController, NullController
 from repro.errors import SimulationError
+from repro.obs import context as obs_context
 from repro.obs import metrics
 from repro.obs import trace as obs_trace
 from repro.power.supply import PowerSupply
@@ -87,6 +88,15 @@ class Simulation:
     def _enter_run_span(self, stack: contextlib.ExitStack, n_cycles: int) -> None:
         tracer = obs_trace.active_tracer()
         if tracer is not None:
+            # The kernel span chains off the enclosing cell span's context
+            # (when one is current) so a job's trace links down to the
+            # simulation itself.
+            parent_ctx = obs_context.current_context()
+            ctx = None
+            if parent_ctx is not None:
+                ctx = parent_ctx.child(
+                    f"run|{self.benchmark}|{self.controller.name}|{n_cycles}"
+                )
             stack.enter_context(tracer.span(
                 f"run {self.benchmark}",
                 cat=obs_trace.CAT_SIM,
@@ -96,6 +106,7 @@ class Simulation:
                     "n_cycles": n_cycles,
                     "warmup_cycles": self.warmup_cycles,
                 },
+                ctx=ctx,
             ))
 
     # ------------------------------------------------------------------

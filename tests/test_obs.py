@@ -18,6 +18,7 @@ import pytest
 from repro import obs
 from repro.core import ResonanceTuningController
 from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 from repro.obs import trace as obs_trace
 from repro.obs.log import (
     configure_logging,
@@ -46,20 +47,25 @@ SMALL = SweepConfig(n_cycles=2500, warmup_cycles=200)
 BENCHMARKS = ("swim", "gzip")
 
 
+def _reset_obs():
+    obs_trace.set_active_tracer(None)
+    obs_metrics.set_active_registry(None)
+    profiler = obs_profile.active_profiler()
+    if profiler is not None:
+        profiler.stop()
+    obs_profile.set_active_profiler(None)
+    obs._trace_out = None
+    obs._metrics_out = None
+    obs._profile_out = None
+    reset_warn_dedup()
+
+
 @pytest.fixture(autouse=True)
 def clean_obs_state():
     """Every test starts and ends with observability fully off."""
-    obs_trace.set_active_tracer(None)
-    obs_metrics.set_active_registry(None)
-    obs._trace_out = None
-    obs._metrics_out = None
-    reset_warn_dedup()
+    _reset_obs()
     yield
-    obs_trace.set_active_tracer(None)
-    obs_metrics.set_active_registry(None)
-    obs._trace_out = None
-    obs._metrics_out = None
-    reset_warn_dedup()
+    _reset_obs()
 
 
 def span_names(events):
@@ -134,6 +140,32 @@ class TestMetricsRegistry:
         registry.counter("a").inc()
         snapshot = registry.snapshot()
         json.dumps(snapshot)  # picklable/serializable by construction
+
+    def test_prometheus_escapes_hostile_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "hostile_total", help='backslash \\ and\nnewline'
+        ).inc(1, labels={
+            "path": 'C:\\tmp\\"x"',
+            "note": "line one\nline two",
+        })
+        text = registry.to_prometheus()
+        # Exposition format 0.0.4: label values escape backslash first,
+        # then double-quote and newline; HELP escapes backslash+newline.
+        assert (
+            'hostile_total{note="line one\\nline two",'
+            'path="C:\\\\tmp\\\\\\"x\\""} 1'
+        ) in text
+        assert "# HELP hostile_total backslash \\\\ and\\nnewline" in text
+        for line in text.splitlines():
+            assert "\n" not in line  # each sample stays one line
+
+    def test_escaping_is_exposition_only(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2, labels={"v": 'a\\b"c\nd'})
+        merged = MetricsRegistry()
+        merged.merge(registry.snapshot())
+        assert merged.counter("c").value(labels={"v": 'a\\b"c\nd'}) == 2
 
 
 # ----------------------------------------------------------------------
@@ -410,3 +442,108 @@ class TestTraceReport:
         assert "retry hotspots" in text
         assert "swim / tuning" in text
         assert "pool_rebuild" in text
+
+    def test_empty_shard_dir_exits_cleanly(self, tmp_path, capsys):
+        report = _load_trace_report()
+        shard_dir = tmp_path / "trace.json.shards"
+        shard_dir.mkdir()
+        assert report.main([str(shard_dir)]) == 0
+        assert "no spans recorded" in capsys.readouterr().out
+
+    def test_missing_shard_dir_exits_cleanly(self, tmp_path, capsys):
+        report = _load_trace_report()
+        missing = tmp_path / "never-written.shards"
+        assert report.main([str(missing)]) == 0
+        assert "no spans recorded" in capsys.readouterr().out
+
+    def test_unexported_trace_falls_back_to_shards(self, tmp_path, capsys):
+        # A --trace-out path whose process died before export: the
+        # shards exist, the merged file does not.
+        report = _load_trace_report()
+        trace_path = tmp_path / "trace.json"
+        shard_dir = trace_path.parent / "trace.json.shards"
+        shard_dir.mkdir()
+        assert report.main([str(trace_path)]) == 0
+        assert "no spans recorded" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# bench_history tool
+# ----------------------------------------------------------------------
+
+def _load_bench_history():
+    path = (
+        pathlib.Path(__file__).resolve().parents[1]
+        / "tools" / "bench_history.py"
+    )
+    spec = importlib.util.spec_from_file_location("bench_history", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchHistory:
+    def _report(self, tmp_path, name, sequential, pool):
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "schema": 1,
+            "backends": {
+                "sequential": {"cells_per_s": sequential, "wall_s": 1.0},
+                "pool": {"cells_per_s": pool, "wall_s": 1.0},
+            },
+        }))
+        return str(path)
+
+    def test_append_then_trend_pass_and_fail(self, tmp_path, capsys):
+        history = _load_bench_history()
+        ledger = str(tmp_path / "history")
+        report = self._report(tmp_path, "BENCH_x.json", 4.0, 3.0)
+        for stamp in (100, 200, 300):
+            assert history.main([
+                "append", report, "--ledger-dir", ledger,
+                "--commit", f"c{stamp}", "--recorded-unix", str(stamp),
+            ]) == 0
+        # current equals the trailing median: passes
+        assert history.main(["check", report, "--ledger-dir", ledger]) == 0
+        assert "trend check passed" in capsys.readouterr().out
+        # throughput halves: trips the trend gate
+        slow = self._report(tmp_path, "BENCH_x.json", 2.0, 1.4)
+        assert history.main(["check", slow, "--ledger-dir", ledger]) == 1
+        out = capsys.readouterr().out
+        assert "BENCH TREND CHECK FAILED" in out
+        assert "sequential" in out
+
+    def test_too_few_entries_passes_trivially(self, tmp_path, capsys):
+        history = _load_bench_history()
+        ledger = str(tmp_path / "history")
+        report = self._report(tmp_path, "BENCH_y.json", 4.0, 3.0)
+        assert history.main([
+            "append", report, "--ledger-dir", ledger,
+            "--commit", "c1", "--recorded-unix", "100",
+        ]) == 0
+        assert history.main(["check", report, "--ledger-dir", ledger]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_torn_ledger_line_ignored(self, tmp_path):
+        history = _load_bench_history()
+        ledger_dir = tmp_path / "history"
+        ledger_dir.mkdir()
+        report = self._report(tmp_path, "BENCH_z.json", 4.0, 3.0)
+        good = json.dumps(
+            {"commit": "c", "recorded_unix": 1,
+             "backends": {"sequential": 4.0, "pool": 3.0}}
+        )
+        (ledger_dir / "BENCH_z.jsonl").write_text(
+            good + "\n" + good + "\n" + '{"torn": tru'
+        )
+        assert history.main(
+            ["check", report, "--ledger-dir", str(ledger_dir)]
+        ) == 0
+
+    def test_empty_report_refused(self, tmp_path):
+        history = _load_bench_history()
+        path = tmp_path / "BENCH_empty.json"
+        path.write_text(json.dumps({"backends": {}}))
+        assert history.main([
+            "append", str(path), "--ledger-dir", str(tmp_path / "h"),
+        ]) == 2

@@ -1,0 +1,420 @@
+"""Tests for trace-context propagation, the sampling profiler, and the
+ops report (the second tier of ``repro.obs``).
+
+The propagation tests exercise the whole seam chain with real sweeps:
+fixed-seed runs must produce byte-identical trace linkage per backend,
+the pool and dist backends must agree on the sweep's ``trace_id``, and a
+multi-process sweep must land spans from at least two pids in one trace.
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro import obs
+from repro.core import ResonanceTuningController
+from repro.obs import context as obs_context
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
+from repro.obs.context import TraceContext, current_context, use_context
+from repro.obs.log import reset_warn_dedup
+from repro.obs.profile import SamplingProfiler
+from repro.obs.report import build_report, render_html
+from repro.obs.trace import load_trace_events
+from repro.sim import BenchmarkRunner, ResilienceConfig, SweepConfig
+
+
+def tuning_factory(supply, processor):
+    """Module-level (hence picklable) controller factory."""
+    return ResonanceTuningController(supply, processor)
+
+
+SMALL = SweepConfig(n_cycles=2000, warmup_cycles=200)
+BENCHMARKS = ("swim", "gzip")
+
+
+def _reset_obs():
+    obs_trace.set_active_tracer(None)
+    obs_metrics.set_active_registry(None)
+    profiler = obs_profile.active_profiler()
+    if profiler is not None:
+        profiler.stop()
+    obs_profile.set_active_profiler(None)
+    obs._trace_out = None
+    obs._metrics_out = None
+    obs._profile_out = None
+    reset_warn_dedup()
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    _reset_obs()
+    yield
+    _reset_obs()
+
+
+# ----------------------------------------------------------------------
+# TraceContext unit behaviour
+# ----------------------------------------------------------------------
+
+class TestTraceContext:
+    def test_ids_are_deterministic(self):
+        a = TraceContext.root("sweep|tuning|0")
+        b = TraceContext.root("sweep|tuning|0")
+        assert a == b
+        assert len(a.trace_id) == 32
+        assert len(a.span_id) == 16
+        assert a.parent_id is None
+        assert TraceContext.root("sweep|tuning|1") != a
+
+    def test_child_links_to_parent(self):
+        root = TraceContext.root("job|j1")
+        child = root.child("cell|swim")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        assert root.child("cell|swim") == child
+        assert root.child("cell|gzip") != child
+
+    def test_dict_round_trip(self):
+        ctx = TraceContext.root("x").child("y")
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+        assert TraceContext.from_dict(None) is None
+        assert TraceContext.from_dict({"trace_id": 7}) is None
+        assert TraceContext.from_dict("nope") is None
+
+    def test_traceparent_round_trip(self):
+        ctx = TraceContext.root("job|abc")
+        parsed = TraceContext.from_traceparent(ctx.to_traceparent())
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+        assert TraceContext.from_traceparent(None) is None
+        assert TraceContext.from_traceparent("garbage") is None
+        assert TraceContext.from_traceparent("00-zz-ff-01") is None
+
+    def test_use_context_is_scoped_and_nestable(self):
+        outer = TraceContext.root("outer")
+        inner = outer.child("inner")
+        assert current_context() is None
+        with use_context(outer):
+            assert current_context() == outer
+            assert obs_context.context_is_remote() is False
+            with use_context(inner, remote=True):
+                assert current_context() == inner
+                assert obs_context.context_is_remote() is True
+            assert current_context() == outer
+        assert current_context() is None
+
+    def test_use_context_none_is_noop(self):
+        with use_context(None) as installed:
+            assert installed is None
+            assert current_context() is None
+
+
+# ----------------------------------------------------------------------
+# Sampling profiler
+# ----------------------------------------------------------------------
+
+def _busy(deadline_s=0.25):
+    import time
+    total = 0
+    end = time.perf_counter() + deadline_s
+    while time.perf_counter() < end:
+        total += sum(range(200))
+    return total
+
+
+class TestSamplingProfiler:
+    def test_collects_samples_from_busy_thread(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        profiler.start()
+        try:
+            with profiler.attribute("swim|tuning|-"):
+                _busy()
+        finally:
+            profiler.stop()
+        assert profiler.sample_count() > 0
+        labels = {label for (label, _stack) in profiler.snapshot()}
+        assert "swim|tuning|-" in labels
+        stacks = [
+            stack for (label, stack) in profiler.snapshot()
+            if label == "swim|tuning|-"
+        ]
+        assert any("_busy" in frame for stack in stacks for frame in stack)
+
+    def test_attribute_restores_previous_label(self):
+        profiler = SamplingProfiler()
+        with profiler.attribute("outer"):
+            with profiler.attribute("inner"):
+                pass
+            import threading
+            assert profiler._labels[threading.get_ident()] == "outer"
+
+    def test_speedscope_and_collapsed_output(self, tmp_path):
+        processes = [{
+            "pid": 42,
+            "label": "sweep",
+            "samples": [
+                ["swim|tuning|-", ["main (cli.py:1)", "run (sim.py:2)"], 3],
+                ["-", ["idle (x.py:9)"], 1],
+            ],
+        }]
+        speedscope = tmp_path / "profile.json"
+        collapsed = tmp_path / "profile.collapsed"
+        obs_profile.write_speedscope(str(speedscope), processes)
+        obs_profile.write_collapsed(str(collapsed), processes)
+
+        payload = json.loads(speedscope.read_text())
+        assert payload["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        frames = [f["name"] for f in payload["shared"]["frames"]]
+        assert "[cell swim|tuning|-]" in frames
+        assert "main (cli.py:1)" in frames
+        profile = payload["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert profile["endValue"] == sum(profile["weights"]) == 4
+        assert len(profile["samples"]) == len(profile["weights"])
+        for sample in profile["samples"]:
+            assert all(0 <= i < len(frames) for i in sample)
+
+        lines = collapsed.read_text().splitlines()
+        assert (
+            "[cell swim|tuning|-];main (cli.py:1);run (sim.py:2) 3" in lines
+        )
+        assert "idle (x.py:9) 1" in lines
+
+    def test_shard_merge(self, tmp_path):
+        shard_dir = tmp_path / "profile.json.shards"
+        shard_dir.mkdir()
+        (shard_dir / "pid-7.json").write_text(json.dumps({
+            "pid": 7, "label": "worker-0",
+            "samples": [["a|b|1", ["f (m.py:1)"], 2]],
+        }))
+        (shard_dir / "pid-8.json").write_text('{"torn": tru')
+        own = SamplingProfiler(process_label="sweep")
+        processes = obs_profile.merge_profiles(own, str(shard_dir))
+        labels = [p["label"] for p in processes]
+        assert labels == ["sweep", "worker-0"]
+
+    def test_configure_finalize_writes_profile(self, tmp_path):
+        profile_path = tmp_path / "profile.json"
+        obs.configure(profile_out=str(profile_path))
+        assert obs.is_configured()
+        _busy(0.1)
+        written = obs.finalize()
+        assert [pathlib.Path(p).name for p in written] == [
+            "profile.json", "profile.json.collapsed",
+        ]
+        payload = json.loads(profile_path.read_text())
+        assert payload["profiles"]
+        assert not (tmp_path / "profile.json.shards").exists()
+        assert obs_profile.active_profiler() is None
+
+
+# ----------------------------------------------------------------------
+# Context propagation through real sweeps
+# ----------------------------------------------------------------------
+
+def _traced_sweep(tmp_path, tag, workers=1, backend=None):
+    """Run one traced sweep; return (summary, events)."""
+    trace_path = tmp_path / f"trace-{tag}.json"
+    obs.configure(trace_out=str(trace_path))
+    try:
+        resilience = ResilienceConfig(workers=workers)
+        if backend is not None:
+            resilience = dataclasses.replace(resilience, backend=backend)
+        with BenchmarkRunner(SMALL) as runner:
+            summary = runner.sweep(
+                tuning_factory, benchmarks=BENCHMARKS, resilience=resilience
+            )
+    finally:
+        obs.finalize()
+    return summary, load_trace_events(str(trace_path))
+
+
+def _linkage(events):
+    """The deterministic id triples of every context-carrying span."""
+    triples = set()
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {})
+        if "trace_id" in args:
+            triples.add((
+                event.get("name"),
+                args["trace_id"],
+                args["span_id"],
+                args.get("parent_id"),
+            ))
+    return triples
+
+
+class TestContextPropagation:
+    def test_sequential_linkage_is_deterministic(self, tmp_path):
+        _, first = _traced_sweep(tmp_path, "a")
+        _, second = _traced_sweep(tmp_path, "b")
+        linkage = _linkage(first)
+        assert linkage == _linkage(second)
+        trace_ids = {t[1] for t in linkage}
+        assert len(trace_ids) == 1
+        # every cell span hangs under the sweep span; kernel runs hang
+        # under their cell -- except the staged base-processor runs,
+        # which are shared by the whole sweep and parent under it
+        by_span = {t[2]: t for t in linkage}
+        sweep = next(t for t in linkage if t[0] == "sweep")
+        cell_spans = set()
+        for name, _trace, _span, parent in linkage:
+            if name.startswith("cell "):
+                assert parent == sweep[2]
+                cell_spans.add(_span)
+        run_parents = {
+            t[3] for t in linkage if t[0].startswith("run ")
+        }
+        assert run_parents <= cell_spans | {sweep[2]}
+        assert cell_spans <= run_parents  # each cell ran its kernel
+
+    def test_pool_backend_matches_sequential_ids(self, tmp_path):
+        _, sequential = _traced_sweep(tmp_path, "seq")
+        _, pooled = _traced_sweep(tmp_path, "pool", workers=2)
+        seq_linkage = _linkage(sequential)
+        pool_linkage = _linkage(pooled)
+
+        def split(linkage):
+            runs = {t for t in linkage if t[0].startswith("run ")}
+            return linkage - runs, runs
+
+        seq_tree, seq_runs = split(seq_linkage)
+        pool_tree, pool_runs = split(pool_linkage)
+        # Identical sweep/cell linkage on both backends -- the ids are
+        # derived, not random.
+        assert seq_tree == pool_tree
+        # Kernel runs also derive identically; the backends only differ
+        # in where the *base-processor* run executes (staged under the
+        # sweep span sequentially, on demand under the cell span in a
+        # worker), so the technique runs -- the cell-parented sequential
+        # ones -- must appear verbatim in the pool linkage.
+        cell_spans = {t[2] for t in seq_tree if t[0].startswith("cell ")}
+        seq_cell_runs = {t for t in seq_runs if t[3] in cell_spans}
+        assert seq_cell_runs and seq_cell_runs <= pool_runs
+        assert {t[1] for t in pool_runs} == {t[1] for t in seq_runs}
+
+    def test_pool_spans_cross_processes_in_one_trace(self, tmp_path):
+        _, events = _traced_sweep(tmp_path, "pids", workers=2)
+        trace_ids = {
+            e["args"]["trace_id"]
+            for e in events
+            if e.get("ph") == "X" and "trace_id" in e.get("args", {})
+        }
+        assert len(trace_ids) == 1
+        pids = {
+            e["pid"]
+            for e in events
+            if e.get("ph") == "X"
+            and e.get("args", {}).get("trace_id") in trace_ids
+        }
+        assert len(pids) >= 2
+
+    def test_pool_emits_bound_flow_events(self, tmp_path):
+        _, events = _traced_sweep(tmp_path, "flow", workers=2)
+        starts = {e["id"] for e in events if e.get("ph") == "s"}
+        ends = {e["id"] for e in events if e.get("ph") == "f"}
+        assert starts  # dispatcher emitted flow arrows
+        assert ends <= starts  # every arrowhead has a tail
+        cell_span_ids = {
+            e["args"]["span_id"]
+            for e in events
+            if e.get("ph") == "X" and e.get("cat") == "cell"
+            and "span_id" in e.get("args", {})
+        }
+        assert ends and ends <= cell_span_ids
+
+    @pytest.mark.slow
+    def test_dist_backend_shares_trace_id_with_pool(self, tmp_path):
+        _, pooled = _traced_sweep(tmp_path, "pool", workers=2)
+        _, dist_a = _traced_sweep(
+            tmp_path, "dist-a", workers=2, backend="dist"
+        )
+        _, dist_b = _traced_sweep(
+            tmp_path, "dist-b", workers=2, backend="dist"
+        )
+        # dist linkage is deterministic run to run ...
+        assert _linkage(dist_a) == _linkage(dist_b)
+        # ... and shares the sweep trace with the pool backend (the
+        # lease tier adds spans, so the *sets* differ by design).
+        pool_traces = {t[1] for t in _linkage(pooled)}
+        dist_traces = {t[1] for t in _linkage(dist_a)}
+        assert pool_traces == dist_traces and len(dist_traces) == 1
+        # the lease tier parents the dist cells
+        lease_spans = {
+            t[2] for t in _linkage(dist_a) if t[0].startswith("lease ")
+        }
+        cell_parents = {
+            t[3] for t in _linkage(dist_a) if t[0].startswith("cell ")
+        }
+        assert lease_spans and cell_parents <= lease_spans
+
+
+# ----------------------------------------------------------------------
+# Ops report
+# ----------------------------------------------------------------------
+
+class TestOpsReport:
+    def test_report_from_real_artifacts(self, tmp_path):
+        obs.configure(
+            trace_out=str(tmp_path / "trace.json"),
+            metrics_out=str(tmp_path / "metrics.json"),
+            profile_out=str(tmp_path / "profile.json"),
+        )
+        try:
+            with BenchmarkRunner(SMALL) as runner:
+                runner.sweep(tuning_factory, benchmarks=BENCHMARKS)
+        finally:
+            obs.finalize()
+        report = build_report(
+            str(tmp_path / "trace.json"),
+            metrics_path=str(tmp_path / "metrics.json"),
+            profile_path=str(tmp_path / "profile.json"),
+        )
+        assert report["event_count"] > 0
+        assert report["trace_ids"]
+        assert report["waterfall"]
+        assert report["histogram"]["count"] == len(BENCHMARKS)
+        html_text = render_html(report)
+        assert html_text.startswith("<!doctype html>")
+        assert "Phase waterfall" in html_text
+        assert "cell swim" in html_text
+        assert "<script" not in html_text  # self-contained, no assets
+
+    def test_report_escapes_hostile_names(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps({"traceEvents": [
+            {"ph": "X", "name": "cell <img src=x>", "cat": "cell",
+             "ts": 0.0, "dur": 5.0, "pid": 1, "tid": 1,
+             "args": {"technique": '"><script>alert(1)</script>'}},
+        ]}))
+        html_text = render_html(build_report(str(trace)))
+        assert "<script>alert" not in html_text
+        assert "<img" not in html_text
+
+    def test_cli_entrypoint_writes_html(self, tmp_path, capsys):
+        from repro.obs import report as obs_report
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps({"traceEvents": []}))
+        out = tmp_path / "report.html"
+        assert obs_report.main(
+            ["--trace", str(trace), "--out", str(out)]
+        ) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_cli_entrypoint_rejects_missing_trace(self, tmp_path, capsys):
+        from repro.obs import report as obs_report
+        assert obs_report.main(
+            ["--trace", str(tmp_path / "nope.json"),
+             "--out", str(tmp_path / "r.html")]
+        ) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -481,6 +481,152 @@ class TestServiceIntegration:
 
 
 # ----------------------------------------------------------------------
+# Debug endpoints and end-to-end trace correlation
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def clean_obs():
+    """Reset process-wide observability around a test that turns it on."""
+    from repro import obs
+
+    obs.finalize()
+    yield obs
+    obs.finalize()
+
+
+class TestDebugEndpoints:
+    def test_debug_vars_surface(self, tmp_path):
+        with ServiceFixture(tmp_path) as fx:
+            status, headers, body = fx.request("GET", "/debug/vars")
+            assert status == 200
+            assert headers["Content-Type"].startswith("application/json")
+            assert body["pid"] == os.getpid()
+            assert body["uptime_s"] >= 0
+            assert body["draining"] is False
+            assert body["queue_depth"] == 0
+            assert body["running_jobs"] == []
+            assert body["tracing"] is False
+            assert body["profiling"] is False
+            assert "counters" in body["metrics"]
+            # mutating methods stay rejected on the debug surface
+            assert fx.request("POST", "/debug/vars")[0] == 405
+
+    def test_debug_profile_409_when_off(self, tmp_path):
+        with ServiceFixture(tmp_path) as fx:
+            status, _, body = fx.request("GET", "/debug/profile")
+            assert status == 409
+            assert "profiler is off" in body["error"]
+
+    def test_debug_profile_live_snapshot(self, tmp_path, clean_obs):
+        clean_obs.configure(profile_out=str(tmp_path / "profile.json"))
+        with ServiceFixture(tmp_path) as fx:
+            # let the sampler observe the service threads at least once
+            time.sleep(0.05)
+            status, _, body = fx.request("GET", "/debug/profile")
+            assert status == 200
+            assert body["$schema"] == (
+                "https://www.speedscope.app/file-format-schema.json"
+            )
+            assert body["profiles"]
+
+
+class TestEndToEndTraceCorrelation:
+    """The acceptance demo: one job through serve backed by the dist
+    backend must land every tier's span in one causally-linked trace."""
+
+    def test_serve_dist_job_links_one_trace(self, tmp_path, clean_obs):
+        from repro.obs.context import TraceContext
+        from repro.obs.trace import load_trace_events
+
+        trace_path = tmp_path / "trace.json"
+        clean_obs.configure(trace_out=str(trace_path))
+        client_ctx = TraceContext.root("client|e2e")
+        with ServiceFixture(tmp_path) as fx:
+            status, _, record = fx.request(
+                "POST", "/jobs",
+                spec_dict(backend="dist", workers=1, **TINY),
+                {"traceparent": client_ctx.to_traceparent()},
+            )
+            assert status == 201
+            job_id = record["job_id"]
+            assert record["trace"]["trace_id"] == client_ctx.trace_id
+            fx.wait_state(job_id, ("done",), timeout_s=120.0)
+        clean_obs.finalize()
+
+        events = load_trace_events(str(trace_path))
+        spans = {}
+        for event in events:
+            if event.get("ph") != "X":
+                continue
+            args = event.get("args", {})
+            if args.get("trace_id") == client_ctx.trace_id:
+                spans[args["span_id"]] = (
+                    event["name"], args.get("parent_id"), event["pid"]
+                )
+
+        def find(prefix):
+            matches = [
+                (sid, *info) for sid, info in spans.items()
+                if info[0].startswith(prefix)
+            ]
+            assert matches, (
+                f"no {prefix!r} span in trace"
+                f" {sorted(i[0] for i in spans.values())}"
+            )
+            return matches
+
+        # every tier of the lifecycle is present in the one trace
+        (http_id, _, http_parent, _), = find("http POST /jobs")
+        (job_sid, _, job_parent, _), = find(f"job {job_id}")
+        (sweep_id, _, sweep_parent, _), = find("sweep")
+        lease = find("lease ")
+        cells = find("cell ")
+        runs = find("run ")
+
+        # ... with parent links across every boundary
+        assert http_parent == client_ctx.span_id
+        assert job_parent == http_id
+        assert sweep_parent == job_sid
+        assert {entry[2] for entry in lease} == {sweep_id}
+        lease_ids = {entry[0] for entry in lease}
+        assert {entry[2] for entry in cells} <= lease_ids
+        cell_ids = {entry[0] for entry in cells}
+        assert all(entry[2] in cell_ids for entry in runs)
+
+        # ... and across at least two processes (service + dist worker)
+        pids = {info[2] for info in spans.values()}
+        assert len(pids) >= 2
+        worker_pids = {entry[3] for entry in cells}
+        assert os.getpid() not in worker_pids
+
+    def test_job_trace_ids_deterministic_for_fixed_traceparent(
+        self, tmp_path, clean_obs
+    ):
+        # Same traceparent, different job ids: the request/job spans
+        # derive from the client context and the job id, so the trace id
+        # is pinned by the client while span ids stay distinct per job.
+        from repro.obs.context import TraceContext
+
+        clean_obs.configure(trace_out=str(tmp_path / "trace.json"))
+        client_ctx = TraceContext.root("client|fixed")
+        with ServiceFixture(tmp_path) as fx:
+            records = [
+                fx.request(
+                    "POST", "/jobs", spec_dict(**TINY),
+                    {"traceparent": client_ctx.to_traceparent()},
+                )[2]
+                for _ in range(2)
+            ]
+            for record in records:
+                fx.wait_state(record["job_id"], ("done",))
+        clean_obs.finalize()
+        first, second = (r["trace"] for r in records)
+        assert first["trace_id"] == second["trace_id"] == client_ctx.trace_id
+        assert first["span_id"] != second["span_id"]
+        assert first["parent_id"] == second["parent_id"]
+
+
+# ----------------------------------------------------------------------
 # CLI wiring
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,239 @@
+"""Bench-trajectory ledger: append CI runs, flag trend regressions.
+
+``tools/bench_gate.py`` compares one run against one committed baseline
+-- good at catching a single large regression, blind to a slow drift
+where every run is "within tolerance" of a baseline that nobody
+refreshes.  This tool closes that gap: every CI bench run is appended to
+a committed JSONL ledger under ``benchmarks/history/``, and each new
+entry is checked against the *median* of the recent window, so N small
+regressions that individually pass the gate still trip the trend check
+once they compound.
+
+One ledger file per artifact (``benchmarks/history/BENCH_sweep.jsonl``),
+one JSON object per line::
+
+    {"commit": "abc1234", "recorded_unix": 1754650000,
+     "backends": {"sequential": 3.9, "pool": 2.8}}
+
+Usage::
+
+    python tools/bench_history.py append BENCH_sweep.json \
+        [--ledger-dir benchmarks/history] [--commit SHA]
+    python tools/bench_history.py check BENCH_sweep.json \
+        [--window 8] [--tolerance 0.25]
+
+``append`` records unconditionally (the ledger is a measurement log, not
+a gate).  ``check`` exits 1 when any backend's throughput falls more
+than ``tolerance`` below the median of up to ``window`` prior entries;
+with fewer than 2 prior entries it passes (no trend to judge yet).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import subprocess
+import sys
+import time
+
+DEFAULT_LEDGER_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "history"
+)
+
+#: Fewer prior entries than this and ``check`` passes trivially -- one
+#: point is noise, not a trend.
+MIN_PRIOR_ENTRIES = 2
+
+
+def _detect_commit() -> str:
+    env = os.environ.get("GITHUB_SHA")
+    if env:
+        return env[:12]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _rates(report: dict) -> dict:
+    """Backend label -> cells/s, dropping non-positive junk legs."""
+    rates = {}
+    for label, entry in report.get("backends", {}).items():
+        rate = entry.get("cells_per_s")
+        if isinstance(rate, (int, float)) and rate > 0:
+            rates[label] = float(rate)
+    return rates
+
+
+def ledger_path(report_path: str, ledger_dir: str) -> pathlib.Path:
+    stem = pathlib.Path(report_path).stem
+    return pathlib.Path(ledger_dir) / f"{stem}.jsonl"
+
+
+def load_ledger(path: pathlib.Path) -> list:
+    entries = []
+    if not path.exists():
+        return entries
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # a torn line must not invalidate the ledger
+            if isinstance(entry, dict) and isinstance(
+                entry.get("backends"), dict
+            ):
+                entries.append(entry)
+    return entries
+
+
+def append_entry(
+    report_path: str,
+    ledger_dir: str,
+    commit: str,
+    recorded_unix: int,
+) -> dict:
+    report = json.loads(pathlib.Path(report_path).read_text())
+    rates = _rates(report)
+    if not rates:
+        raise ValueError(
+            f"{report_path} has no positive-throughput backend legs;"
+            " refusing to record an empty measurement"
+        )
+    entry = {
+        "commit": commit,
+        "recorded_unix": recorded_unix,
+        "backends": rates,
+    }
+    path = ledger_path(report_path, ledger_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def check_trend(
+    report_path: str,
+    ledger_dir: str,
+    window: int,
+    tolerance: float,
+) -> list:
+    """Problem strings; empty means the trend check passed."""
+    report = json.loads(pathlib.Path(report_path).read_text())
+    rates = _rates(report)
+    entries = load_ledger(ledger_path(report_path, ledger_dir))
+    if len(entries) < MIN_PRIOR_ENTRIES:
+        print(
+            f"trend check skipped: {len(entries)} prior entr"
+            f"{'y' if len(entries) == 1 else 'ies'}"
+            f" (< {MIN_PRIOR_ENTRIES})"
+        )
+        return []
+    recent = entries[-window:]
+    floor_ratio = 1.0 - tolerance
+    problems = []
+    print(f"{'backend':14s} {'median':>12s} {'current':>12s} {'ratio':>7s}"
+          f"  (window {len(recent)})")
+    for label, current in sorted(rates.items()):
+        history = [
+            e["backends"][label] for e in recent
+            if isinstance(e["backends"].get(label), (int, float))
+            and e["backends"][label] > 0
+        ]
+        if len(history) < MIN_PRIOR_ENTRIES:
+            print(f"{label:14s} {'-':>12s} {current:9.1f}c/s"
+                  f"   new backend, no trend")
+            continue
+        median = statistics.median(history)
+        ratio = current / median
+        print(f"{label:14s} {median:9.1f}c/s {current:9.1f}c/s"
+              f" {ratio:6.2f}x")
+        if ratio < floor_ratio:
+            problems.append(
+                f"{label}: {current:.1f} cells/s is"
+                f" {(1 - ratio) * 100:.0f}% below the trailing median"
+                f" {median:.1f} (tolerance {tolerance * 100:.0f}%)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("report", help="benchmark artifact (BENCH_*.json)")
+    common.add_argument("--ledger-dir", default=str(DEFAULT_LEDGER_DIR),
+                        help="ledger directory (default benchmarks/history)")
+
+    append_cmd = sub.add_parser(
+        "append", parents=[common],
+        help="record this run in the ledger",
+    )
+    append_cmd.add_argument("--commit", default=None,
+                            help="commit id (default: GITHUB_SHA or git)")
+    append_cmd.add_argument("--recorded-unix", type=int, default=None,
+                            help="override the timestamp (tests)")
+
+    check_cmd = sub.add_parser(
+        "check", parents=[common],
+        help="fail when throughput trends below the recent median",
+    )
+    check_cmd.add_argument("--window", type=int, default=8,
+                           help="prior entries to consider (default 8)")
+    check_cmd.add_argument("--tolerance", type=float, default=0.25,
+                           help="allowed drop below the median (default 0.25)")
+
+    args = parser.parse_args(argv)
+
+    if args.action == "append":
+        try:
+            entry = append_entry(
+                args.report,
+                args.ledger_dir,
+                commit=args.commit or _detect_commit(),
+                recorded_unix=(
+                    int(time.time()) if args.recorded_unix is None
+                    else args.recorded_unix
+                ),
+            )
+        except (OSError, ValueError) as error:
+            print(f"cannot record bench entry: {error}", file=sys.stderr)
+            return 2
+        path = ledger_path(args.report, args.ledger_dir)
+        print(f"recorded {entry['commit']} -> {path}"
+              f" ({len(entry['backends'])} backend(s))")
+        return 0
+
+    try:
+        problems = check_trend(
+            args.report, args.ledger_dir,
+            window=args.window, tolerance=args.tolerance,
+        )
+    except (OSError, ValueError) as error:
+        print(f"cannot check bench trend: {error}", file=sys.stderr)
+        return 2
+    if problems:
+        print("\nBENCH TREND CHECK FAILED")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\nbench trend check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Render the HTML ops report from a sweep's observability artifacts.
+
+Thin wrapper over :mod:`repro.obs.report` (also exposed as
+``repro obs report``) for CI and operators who work from a checkout
+without installing the package.
+
+Usage::
+
+    PYTHONPATH=src python tools/obs_report.py --trace trace.json \
+        --metrics metrics.json --profile profile.json --out report.html
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs.report import main  # noqa: E402  (path bootstrap)
+
+if __name__ == "__main__":
+    raise SystemExit(main())

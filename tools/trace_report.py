@@ -15,13 +15,18 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from collections import Counter
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-from repro.obs.trace import load_trace_events  # noqa: E402  (path bootstrap)
+from repro.obs.trace import (  # noqa: E402  (path bootstrap)
+    load_trace_events,
+    merge_shards,
+    shard_dir_for,
+)
 
 #: Span names emitted by the sweep's phase instrumentation, in report order.
 PHASES = ("setup", "execute", "checkpoint_io", "aggregate")
@@ -134,19 +139,42 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Summarize a --trace-out sweep trace."
     )
-    parser.add_argument("trace", help="merged Chrome trace JSON")
+    parser.add_argument(
+        "trace",
+        help="merged Chrome trace JSON, or a .shards directory of an"
+             " unfinalized run",
+    )
     parser.add_argument(
         "--top", type=int, default=10, help="slowest cells to list"
     )
     args = parser.parse_args(argv)
-    try:
-        events = load_trace_events(args.trace)
-    except (OSError, ValueError) as error:
-        print(f"cannot read trace {args.trace!r}: {error}", file=sys.stderr)
-        return 2
-    if not events:
-        print(f"trace {args.trace!r} holds no events", file=sys.stderr)
-        return 1
+    # A shard directory -- passed explicitly, or implied by a trace file
+    # that was never exported -- is a normal mid-run state, not an error:
+    # report what the shards hold, or say plainly that nothing was
+    # recorded yet.
+    shard_source = None
+    if os.path.isdir(args.trace) or args.trace.endswith(".shards"):
+        shard_source = args.trace
+    elif not os.path.exists(args.trace) and os.path.isdir(
+        shard_dir_for(args.trace)
+    ):
+        shard_source = shard_dir_for(args.trace)
+    if shard_source is not None:
+        events = merge_shards(shard_source)
+        if not events:
+            print(f"no spans recorded in {shard_source!r}")
+            return 0
+    else:
+        try:
+            events = load_trace_events(args.trace)
+        except (OSError, ValueError) as error:
+            print(
+                f"cannot read trace {args.trace!r}: {error}", file=sys.stderr
+            )
+            return 2
+        if not events:
+            print(f"trace {args.trace!r} holds no events", file=sys.stderr)
+            return 1
     try:
         print(render_report(events, top=args.top))
     except BrokenPipeError:  # |head closed the pipe; not an error
